@@ -1,0 +1,103 @@
+// E11 — comparison with the centralized manager/worker scheme (Section 3).
+//
+// "While clearly not scalable, this approach simplifies the management of
+// information... the central manager remains an obstacle to both
+// scalability and fault tolerance. Reliability can be achieved through
+// checkpointing, but this approach assumes that there exists at least one
+// reliable process/machine."
+#include <cstdio>
+
+#include "bench/workloads.hpp"
+#include "central/central.hpp"
+
+int main() {
+  using namespace ftbb;
+  std::printf("E11 / FTBB vs centralized manager-worker\n\n");
+
+  bnb::RandomTreeConfig tree_cfg;
+  tree_cfg.target_nodes = 4001;
+  tree_cfg.cost_mean = 0.01;
+  tree_cfg.seed = 59;
+  const bnb::BasicTree tree = bnb::BasicTree::random(tree_cfg);
+  bnb::TreeProblem problem(&tree, /*honor_bounds=*/false);
+
+  central::CentralConfig central_cfg;
+  central_cfg.batch_size = 4;
+  central_cfg.reissue_timeout = 0.3;
+  central_cfg.audit_interval = 0.2;
+
+  std::printf("(a) scalability: manager message load vs processor count\n");
+  support::TextTable ta({"procs", "FTBB makespan (s)", "central makespan (s)",
+                         "manager msgs", "busiest FTBB node msgs"});
+  for (const std::uint32_t procs : {2u, 4u, 8u, 16u, 32u}) {
+    const sim::ClusterResult ours =
+        sim::SimCluster::run(problem, bench::small_cluster_config(procs, 59));
+    const central::CentralResult central = central::CentralSim::run(
+        problem, procs, central_cfg, {}, {}, 3e4, 59);
+    std::uint64_t busiest = 0;
+    for (const auto& w : ours.workers) {
+      busiest = std::max(busiest, w.msgs_received + w.msgs_sent);
+    }
+    ta.row({std::to_string(procs),
+            ours.all_live_halted ? support::TextTable::num(ours.makespan, 2) : "-",
+            central.completed ? support::TextTable::num(central.makespan, 2) : "-",
+            std::to_string(central.manager_messages), std::to_string(busiest)});
+  }
+  std::printf("%s\n", ta.render().c_str());
+
+  std::printf("(b) fault tolerance: who survives what (8 workers)\n");
+  const sim::ClusterResult ours_base =
+      sim::SimCluster::run(problem, bench::small_cluster_config(8, 59));
+  const central::CentralResult central_base =
+      central::CentralSim::run(problem, 8, central_cfg, {}, {}, 3e4, 59);
+  support::TextTable tb({"scenario", "scheme", "finished", "makespan (s)",
+                         "notes"});
+  {
+    // Worker crash: both tolerate.
+    sim::ClusterConfig cfg = bench::small_cluster_config(8, 59);
+    cfg.crashes = {{2, ours_base.makespan * 0.4}};
+    cfg.time_limit = 3e4;
+    const auto ours = sim::SimCluster::run(problem, cfg);
+    const auto central = central::CentralSim::run(
+        problem, 8, central_cfg, {}, {{3, central_base.makespan * 0.4}}, 3e4, 59);
+    tb.row({"one worker dies", "FTBB", ours.all_live_halted ? "yes" : "NO",
+            support::TextTable::num(ours.makespan, 2), "complement recovery"});
+    tb.row({"one worker dies", "central", central.completed ? "yes" : "NO",
+            support::TextTable::num(central.makespan, 2),
+            std::to_string(central.reissues) + " batch reissues"});
+  }
+  {
+    // Coordinator-equivalent crash.
+    sim::ClusterConfig cfg = bench::small_cluster_config(8, 59);
+    cfg.crashes = {{0, ours_base.makespan * 0.4}};
+    cfg.time_limit = 3e4;
+    const auto ours = sim::SimCluster::run(problem, cfg);
+    const auto central_plain = central::CentralSim::run(
+        problem, 8, central_cfg, {}, {{0, central_base.makespan * 0.4}},
+        central_base.makespan * 6.0, 59);
+    central::CentralConfig ckpt_cfg = central_cfg;
+    ckpt_cfg.checkpointing = true;
+    ckpt_cfg.checkpoint_interval = 0.5;
+    ckpt_cfg.restart_delay = 0.5;
+    const auto central_ckpt = central::CentralSim::run(
+        problem, 8, ckpt_cfg, {}, {{0, central_base.makespan * 0.4}}, 3e4, 59);
+    tb.row({"node 0 dies", "FTBB", ours.all_live_halted ? "yes" : "NO",
+            support::TextTable::num(ours.makespan, 2),
+            "no special nodes exist"});
+    tb.row({"node 0 dies", "central (no ckpt)",
+            central_plain.completed ? "yes" : "NO",
+            support::TextTable::num(central_plain.makespan, 2),
+            "manager is a single point of failure"});
+    tb.row({"node 0 dies", "central (ckpt)",
+            central_ckpt.completed ? "yes" : "NO",
+            support::TextTable::num(central_ckpt.makespan, 2),
+            std::to_string(central_ckpt.manager_restarts) +
+                " restart(s) from checkpoint"});
+  }
+  std::printf("%s", tb.render().c_str());
+  std::printf("\nexpected shape: the manager handles O(total work) messages — the\n"
+              "bottleneck the paper motivates against — and its crash is fatal\n"
+              "without checkpointing (which presumes a reliable machine); FTBB\n"
+              "spreads the load and survives any single node's loss.\n");
+  return 0;
+}

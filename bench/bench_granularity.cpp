@@ -1,0 +1,112 @@
+// E7 — granularity sweep (Section 6.3.1, closing paragraph).
+//
+// The paper tunes granularity "by multiplying all time values by a constant
+// factor" and observes: load balance improves with coarser granularity, and
+// communication increases unnecessarily when work reports are sent at fixed
+// time intervals. Protocol timeouts here stay FIXED while node cost varies,
+// reproducing that mismatch; the paper's conclusion — parameters must adapt
+// to the observed execution time per subproblem — is exactly what this
+// table shows.
+#include <cstdio>
+
+#include "bench/workloads.hpp"
+
+int main() {
+  using namespace ftbb;
+  std::printf("E7 / granularity sweep: node cost x{0.1,0.3,1,3,10}, 8 processors\n\n");
+
+  support::TextTable table({"cost factor", "mean cost (s)", "makespan (s)",
+                            "efficiency", "idle+lb", "msgs/node",
+                            "redundant"});
+  for (const double factor : {0.1, 0.3, 1.0, 3.0, 10.0}) {
+    bnb::RandomTreeConfig tree_cfg;
+    tree_cfg.target_nodes = 4001;
+    tree_cfg.cost_mean = 0.01;  // base granularity; scaled below
+    tree_cfg.seed = 23;
+    bnb::BasicTree tree = bnb::BasicTree::random(tree_cfg);
+    tree.scale_costs(factor);
+    bnb::TreeProblem problem(&tree, /*honor_bounds=*/false);
+
+    // Fixed protocol parameters across the sweep (the paper's setup).
+    sim::ClusterConfig cfg = bench::small_cluster_config(8, 23);
+    cfg.time_limit = 3e5;
+    const sim::ClusterResult res = sim::SimCluster::run(problem, cfg);
+    if (!res.all_live_halted) {
+      std::printf("factor=%.1f FAILED\n", factor);
+      return 1;
+    }
+    const double ideal = tree.total_cost() / 8.0;
+    const double total = res.time_all();
+    const double waste = (res.time_of(core::CostKind::kIdle) +
+                          res.time_of(core::CostKind::kLoadBalance)) /
+                         total;
+    table.row({support::TextTable::num(factor, 1),
+               support::TextTable::num(0.01 * factor, 3),
+               support::TextTable::num(res.makespan, 2),
+               support::TextTable::pct(ideal / res.makespan, 1),
+               support::TextTable::pct(waste, 1),
+               support::TextTable::num(
+                   static_cast<double>(res.net.messages_sent) /
+                       static_cast<double>(res.total_expanded),
+                   2),
+               std::to_string(res.redundant_expansions)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper shape: coarser granularity -> better load balance\n"
+              "(efficiency rises), but messages per unit of work grow because\n"
+              "interval-driven traffic (report flushes, table gossip, polling)\n"
+              "continues regardless of node cost; very coarse nodes with fixed\n"
+              "timeouts can also provoke premature failure suspicion.\n\n");
+
+  // E15 extension: the paper's proposed remedy — "a flexible scheme for
+  // adapting parameters to runtime informations, such as ... execution time
+  // per problem" (Section 7) — implemented as WorkerConfig::adaptive_timeouts.
+  std::printf("E15 / adaptive parameters (Section 7 future work): fixed vs\n"
+              "adaptive timeouts across the same granularity sweep, with eager\n"
+              "failure suspicion (denies count, 1 attempt) to expose the risk\n");
+  support::TextTable t2({"cost factor", "fixed: timeouts", "fixed: redundant",
+                         "fixed: efficiency", "adaptive: timeouts",
+                         "adaptive: redundant", "adaptive: efficiency"});
+  for (const double factor : {0.1, 1.0, 10.0, 30.0}) {
+    bnb::RandomTreeConfig tree_cfg;
+    tree_cfg.target_nodes = 4001;
+    tree_cfg.cost_mean = 0.01;
+    tree_cfg.seed = 23;
+    bnb::BasicTree tree = bnb::BasicTree::random(tree_cfg);
+    tree.scale_costs(factor);
+    bnb::TreeProblem problem(&tree, /*honor_bounds=*/false);
+    const double ideal = tree.total_cost() / 8.0;
+
+    auto run = [&](bool adaptive) {
+      sim::ClusterConfig cfg = bench::small_cluster_config(8, 23);
+      cfg.time_limit = 3e6;
+      cfg.worker.attempts_before_recovery = 1;  // eager timeout suspicion
+      cfg.worker.adaptive_timeouts = adaptive;
+      return sim::SimCluster::run(problem, cfg);
+    };
+    const sim::ClusterResult fixed = run(false);
+    const sim::ClusterResult adaptive = run(true);
+    auto timeouts = [](const sim::ClusterResult& res) {
+      std::uint64_t n = 0;
+      for (const auto& w : res.workers) n += w.request_timeouts;
+      return n;
+    };
+    t2.row({support::TextTable::num(factor, 1),
+            std::to_string(timeouts(fixed)),
+            std::to_string(fixed.redundant_expansions),
+            fixed.all_live_halted
+                ? support::TextTable::pct(ideal / fixed.makespan, 1)
+                : "-",
+            std::to_string(timeouts(adaptive)),
+            std::to_string(adaptive.redundant_expansions),
+            adaptive.all_live_halted
+                ? support::TextTable::pct(ideal / adaptive.makespan, 1)
+                : "-"});
+  }
+  std::printf("%s", t2.render().c_str());
+  std::printf("\nexpected shape: with fixed fine-grained timeouts, coarse nodes make\n"
+              "busy peers look dead -> spurious recovery -> redundant work; the\n"
+              "adaptive scheme scales its patience with the observed node cost and\n"
+              "keeps redundancy near zero at every granularity.\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E14 — microbenchmarks of the fault-tolerance data structures.
+//
+// These ground the simulator's contraction-cost model: the per-code and
+// per-trie-node constants charged as "list contraction time" in the
+// experiments can be compared against what the real implementation costs on
+// this machine.
+#include <benchmark/benchmark.h>
+
+#include "bnb/basic_tree.hpp"
+#include "core/code_set.hpp"
+#include "core/messages.hpp"
+
+namespace {
+
+using namespace ftbb;
+using core::CodeSet;
+using core::PathCode;
+
+/// Collects every leaf code of a random tree with ~`nodes` nodes.
+std::vector<PathCode> leaf_codes(std::uint64_t nodes, std::uint64_t seed) {
+  bnb::RandomTreeConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  const bnb::BasicTree tree = bnb::BasicTree::random(cfg);
+  std::vector<PathCode> out;
+  std::vector<std::pair<std::int32_t, PathCode>> stack{{0, PathCode::root()}};
+  while (!stack.empty()) {
+    auto [idx, code] = std::move(stack.back());
+    stack.pop_back();
+    const auto& n = tree.node(static_cast<std::size_t>(idx));
+    if (n.is_leaf()) {
+      out.push_back(std::move(code));
+      continue;
+    }
+    for (int bit = 0; bit < 2; ++bit) {
+      stack.emplace_back(n.child[bit], code.child(n.var, bit != 0));
+    }
+  }
+  return out;
+}
+
+void BM_PathCodeChild(benchmark::State& state) {
+  PathCode code = PathCode::root();
+  for (std::uint32_t i = 0; i < 30; ++i) code = code.child(i, i % 2 != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.child(31, true));
+  }
+}
+BENCHMARK(BM_PathCodeChild);
+
+void BM_PathCodeEncodeDecode(benchmark::State& state) {
+  PathCode code = PathCode::root();
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    code = code.child(static_cast<std::uint32_t>(i), i % 2 != 0);
+  }
+  for (auto _ : state) {
+    support::ByteWriter w;
+    code.encode(w);
+    support::ByteReader r(w.data());
+    benchmark::DoNotOptimize(PathCode::decode(r));
+  }
+  state.SetLabel("depth=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_PathCodeEncodeDecode)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_CodeSetInsertAllLeaves(benchmark::State& state) {
+  const auto leaves = leaf_codes(static_cast<std::uint64_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    CodeSet set;
+    for (const PathCode& c : leaves) set.insert(c);
+    benchmark::DoNotOptimize(set.root_complete());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(leaves.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CodeSetInsertAllLeaves)->Arg(1001)->Arg(10001)->Arg(100001);
+
+void BM_CodeSetCovered(benchmark::State& state) {
+  const auto leaves = leaf_codes(10001, 13);
+  CodeSet set;
+  // Half completed -> realistic mid-run table.
+  for (std::size_t i = 0; i < leaves.size(); i += 2) set.insert(leaves[i]);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.covered(leaves[i]));
+    i = (i + 1) % leaves.size();
+  }
+}
+BENCHMARK(BM_CodeSetCovered);
+
+void BM_CodeSetMergeReports(benchmark::State& state) {
+  // Simulate a receiver merging 8-code work reports into a growing table.
+  const auto leaves = leaf_codes(20001, 17);
+  for (auto _ : state) {
+    CodeSet table;
+    std::vector<PathCode> report;
+    for (const PathCode& c : leaves) {
+      report.push_back(c);
+      if (report.size() == 8) {
+        table.insert_all(report);
+        report.clear();
+      }
+    }
+    benchmark::DoNotOptimize(table.code_count());
+  }
+}
+BENCHMARK(BM_CodeSetMergeReports);
+
+void BM_CodeSetComplement(benchmark::State& state) {
+  const auto leaves = leaf_codes(10001, 19);
+  CodeSet set;
+  for (std::size_t i = 0; i < leaves.size(); i += 3) set.insert(leaves[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.complement());
+  }
+}
+BENCHMARK(BM_CodeSetComplement);
+
+void BM_CodeSetExport(benchmark::State& state) {
+  const auto leaves = leaf_codes(10001, 23);
+  CodeSet set;
+  for (std::size_t i = 0; i < leaves.size(); i += 2) set.insert(leaves[i]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.export_codes());
+  }
+}
+BENCHMARK(BM_CodeSetExport);
+
+void BM_WorkReportEncodeDecode(benchmark::State& state) {
+  const auto leaves = leaf_codes(2001, 29);
+  core::Message msg;
+  msg.type = core::MsgType::kWorkReport;
+  msg.from = 3;
+  msg.best_known = -123.0;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    msg.codes.push_back(leaves[static_cast<std::size_t>(i) % leaves.size()]);
+  }
+  for (auto _ : state) {
+    support::ByteWriter w;
+    msg.encode(w);
+    support::ByteReader r(w.data());
+    benchmark::DoNotOptimize(core::Message::decode(r));
+  }
+  state.SetLabel("codes=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_WorkReportEncodeDecode)->Arg(8)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,61 @@
+// E2 — Table 1: simulated execution of the large problem (~79,600 expanded
+// nodes, 3.47 s mean node cost, ~76.7 h uniprocessor) on 10..100 processors.
+//
+// Paper columns: execution time (hours), B&B time %, contraction time %,
+// storage space (total MB / redundant MB), communication MB/hour/processor.
+//
+// Paper's values for reference:
+//   procs  exec(h)  BB%     contr%  stor(MB) redun(MB)  MB/h/proc
+//   10     7.93     98.11%  0.35%   0.42     0.16       1.01
+//   30     2.91     90.42%  5.20%   3.76     1.92       1.40
+//   50     2.00     81.19%  11.73%  12.65    6.43       2.34
+//   70     1.37     87.32%  2.33%   19.81    10.13      3.16
+//   100    1.04     84.40%  1.13%   43.06    21.88      4.56
+#include <cstdio>
+
+#include "bench/workloads.hpp"
+#include "bnb/sequential.hpp"
+
+int main() {
+  using namespace ftbb;
+  std::printf("E2 / Table 1: large problem on 10..100 processors\n");
+
+  const bnb::BasicTree tree = bench::large_problem();
+  bnb::TreeProblem problem(&tree);
+  std::printf("problem: %zu-node basic tree, mean cost %.2fs/node, "
+              "%.1fh uniprocessor\n\n",
+              tree.size(), bench::kLargeNodeCost, tree.total_cost() / 3600.0);
+
+  support::TextTable table({"procs", "exec (h)", "BB %", "contraction %",
+                            "storage (MB)", "redundant (MB)", "MB/h/proc"});
+  for (const std::uint32_t procs : {10u, 30u, 50u, 70u, 100u}) {
+    const sim::ClusterConfig cfg = bench::large_cluster_config(procs);
+    const sim::ClusterResult res = sim::SimCluster::run(problem, cfg);
+    if (!res.all_live_halted || res.solution != tree.optimal_value()) {
+      std::printf("procs=%u FAILED (halted=%d)\n", procs, res.all_live_halted);
+      return 1;
+    }
+    const double total = res.time_all();
+    const double hours = res.makespan / 3600.0;
+    const double storage_mb =
+        static_cast<double>(res.peak_table_bytes_total) / 1e6;
+    const double redundant_mb =
+        static_cast<double>(res.peak_table_bytes_total -
+                            res.peak_table_bytes_unique) / 1e6;
+    const double mb_per_proc_hour = static_cast<double>(res.net.bytes_sent) /
+                                    1e6 / hours / static_cast<double>(procs);
+    table.row({std::to_string(procs), support::TextTable::num(hours, 2),
+               support::TextTable::pct(res.time_of(core::CostKind::kBB) / total, 2),
+               support::TextTable::pct(
+                   res.time_of(core::CostKind::kContraction) / total, 2),
+               support::TextTable::num(storage_mb, 2),
+               support::TextTable::num(redundant_mb, 2),
+               support::TextTable::num(mb_per_proc_hour, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\npaper shape: near-linear speedup to 100 processors with B&B share\n"
+              "declining (98%% -> ~84%%); storage grows superlinearly with the\n"
+              "processor count and is dominated by redundant copies; communication\n"
+              "per processor-hour increases with the processor count.\n");
+  return 0;
+}

@@ -1,0 +1,268 @@
+#include "bnb/basic_tree.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <fstream>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::bnb {
+
+BasicTree BasicTree::record(const IProblemModel& model, std::uint64_t max_nodes) {
+  BasicTree tree;
+  tree.nodes_.push_back(TreeNode{});
+  tree.nodes_[0].bound = model.root_bound();
+
+  struct Pending {
+    core::PathCode code;
+    std::int32_t index;
+  };
+  std::deque<Pending> queue;
+  queue.push_back({core::PathCode::root(), 0});
+
+  while (!queue.empty()) {
+    const Pending item = std::move(queue.front());
+    queue.pop_front();
+    const NodeEval eval = model.eval(item.code);
+    TreeNode& node = tree.nodes_[static_cast<std::size_t>(item.index)];
+    node.cost = eval.cost;
+    if (eval.feasible_leaf) {
+      node.feasible = true;
+      node.value = eval.value;
+      continue;
+    }
+    if (eval.children.empty()) continue;  // dead end
+    FTBB_CHECK_MSG(eval.children.size() == 2, "basic trees assume binary branching");
+    FTBB_CHECK_MSG(eval.children[0].var == eval.children[1].var,
+                   "children of one node must branch on one variable");
+    FTBB_CHECK_MSG(tree.nodes_.size() + 2 <= max_nodes,
+                   "BasicTree::record: tree exceeds max_nodes; use a smaller instance");
+    const std::uint32_t var = eval.children[0].var;
+    tree.nodes_[static_cast<std::size_t>(item.index)].var = var;
+    for (const ChildOut& child : eval.children) {
+      FTBB_CHECK_MSG(!child.infeasible, "basic trees record infeasibility as dead leaves");
+      const auto child_index = static_cast<std::int32_t>(tree.nodes_.size());
+      tree.nodes_.push_back(TreeNode{});
+      tree.nodes_.back().bound = child.bound;
+      tree.nodes_[static_cast<std::size_t>(item.index)].child[child.bit] = child_index;
+      queue.push_back({item.code.child(var, child.bit != 0), child_index});
+    }
+  }
+  return tree;
+}
+
+BasicTree BasicTree::random(const RandomTreeConfig& config) {
+  support::Rng rng(config.seed);
+  std::uint64_t target = std::max<std::uint64_t>(config.target_nodes, 3);
+  if (target % 2 == 0) ++target;  // full binary tree has an odd node count
+  const std::uint64_t internal_target = (target - 1) / 2;
+
+  BasicTree tree;
+  tree.nodes_.reserve(target);
+  tree.nodes_.push_back(TreeNode{});
+  tree.nodes_[0].bound = 0.0;
+  tree.nodes_[0].cost = rng.lognormal_mean_cv(config.cost_mean, config.cost_cv);
+
+  // Depths tracked separately during generation (nodes store no depth).
+  std::vector<std::uint32_t> depth{0};
+  std::vector<std::int32_t> expandable{0};  // current leaves
+
+  std::uint64_t internals = 0;
+  while (internals < internal_target) {
+    // Pick the leaf to expand: most recent (deepens the tree, like DFS
+    // B&B) with probability depth_bias, uniform otherwise.
+    std::size_t pick_index;
+    if (rng.chance(config.depth_bias)) {
+      pick_index = expandable.size() - 1;
+    } else {
+      pick_index = rng.pick(expandable.size());
+    }
+    const std::int32_t parent = expandable[pick_index];
+    expandable[pick_index] = expandable.back();
+    expandable.pop_back();
+
+    const std::uint32_t parent_depth = depth[static_cast<std::size_t>(parent)];
+    tree.nodes_[static_cast<std::size_t>(parent)].var = parent_depth;  // fixed order
+    for (int bit = 0; bit < 2; ++bit) {
+      const auto child = static_cast<std::int32_t>(tree.nodes_.size());
+      tree.nodes_.push_back(TreeNode{});
+      TreeNode& c = tree.nodes_.back();
+      c.bound = tree.nodes_[static_cast<std::size_t>(parent)].bound +
+                rng.exponential(config.bound_step_mean);
+      c.cost = rng.lognormal_mean_cv(config.cost_mean, config.cost_cv);
+      tree.nodes_[static_cast<std::size_t>(parent)].child[bit] = child;
+      depth.push_back(parent_depth + 1);
+      expandable.push_back(child);
+    }
+    ++internals;
+  }
+
+  // Finalize leaves: some carry feasible solutions; guarantee at least one.
+  bool any_feasible = false;
+  for (TreeNode& n : tree.nodes_) {
+    if (!n.is_leaf()) continue;
+    if (rng.chance(config.feasible_leaf_fraction)) {
+      n.feasible = true;
+      n.value = n.bound + rng.exponential(config.value_slack_mean);
+      any_feasible = true;
+    }
+  }
+  if (!any_feasible) {
+    for (TreeNode& n : tree.nodes_) {
+      if (n.is_leaf()) {
+        n.feasible = true;
+        n.value = n.bound + rng.exponential(config.value_slack_mean);
+        break;
+      }
+    }
+  }
+  return tree;
+}
+
+std::int32_t BasicTree::resolve(const core::PathCode& code) const {
+  std::int32_t cur = 0;
+  for (const core::Branch& step : code.steps()) {
+    const TreeNode& n = nodes_[static_cast<std::size_t>(cur)];
+    FTBB_CHECK_MSG(!n.is_leaf(), "BasicTree::resolve: code descends past a leaf");
+    FTBB_CHECK_MSG(n.var == step.var, "BasicTree::resolve: variable mismatch");
+    cur = n.child[step.bit];
+    FTBB_CHECK(cur >= 0);
+  }
+  return cur;
+}
+
+double BasicTree::optimal_value() const {
+  double best = kInfinity;
+  for (const TreeNode& n : nodes_) {
+    if (n.feasible) best = std::min(best, n.value);
+  }
+  return best;
+}
+
+std::size_t BasicTree::leaf_count() const {
+  std::size_t count = 0;
+  for (const TreeNode& n : nodes_) count += n.is_leaf() ? 1 : 0;
+  return count;
+}
+
+std::size_t BasicTree::max_depth() const {
+  // Iterative DFS carrying depth.
+  std::size_t best = 0;
+  std::vector<std::pair<std::int32_t, std::size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    auto [idx, d] = stack.back();
+    stack.pop_back();
+    best = std::max(best, d);
+    const TreeNode& n = nodes_[static_cast<std::size_t>(idx)];
+    for (const std::int32_t c : n.child) {
+      if (c >= 0) stack.emplace_back(c, d + 1);
+    }
+  }
+  return best;
+}
+
+double BasicTree::total_cost() const {
+  double total = 0.0;
+  for (const TreeNode& n : nodes_) total += n.cost;
+  return total;
+}
+
+void BasicTree::scale_costs(double factor) {
+  FTBB_CHECK(factor > 0);
+  for (TreeNode& n : nodes_) n.cost *= factor;
+}
+
+void BasicTree::encode(support::ByteWriter& w) const {
+  w.varint(nodes_.size());
+  for (const TreeNode& n : nodes_) {
+    w.f64(n.bound);
+    w.f64(n.cost);
+    std::uint8_t flags = n.feasible ? 1 : 0;
+    w.u8(flags);
+    if (n.feasible) w.f64(n.value);
+    if (n.is_leaf()) {
+      w.varint(0);
+    } else {
+      w.varint(static_cast<std::uint64_t>(n.var) + 1);
+      w.varint(static_cast<std::uint64_t>(n.child[0]));
+      w.varint(static_cast<std::uint64_t>(n.child[1]));
+    }
+  }
+}
+
+BasicTree BasicTree::decode(support::ByteReader& r) {
+  BasicTree tree;
+  const std::uint64_t count = r.varint();
+  tree.nodes_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TreeNode n;
+    n.bound = r.f64();
+    n.cost = r.f64();
+    const std::uint8_t flags = r.u8();
+    n.feasible = (flags & 1) != 0;
+    if (n.feasible) n.value = r.f64();
+    const std::uint64_t var_plus1 = r.varint();
+    if (var_plus1 != 0) {
+      n.var = static_cast<std::uint32_t>(var_plus1 - 1);
+      n.child[0] = static_cast<std::int32_t>(r.varint());
+      n.child[1] = static_cast<std::int32_t>(r.varint());
+    }
+    tree.nodes_.push_back(n);
+  }
+  return tree;
+}
+
+void BasicTree::save(const std::string& path) const {
+  support::ByteWriter w;
+  encode(w);
+  std::ofstream out(path, std::ios::binary);
+  FTBB_CHECK_MSG(out.good(), "BasicTree::save: cannot open file");
+  out.write(reinterpret_cast<const char*>(w.data().data()),
+            static_cast<std::streamsize>(w.size()));
+  FTBB_CHECK_MSG(out.good(), "BasicTree::save: write failed");
+}
+
+BasicTree BasicTree::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  FTBB_CHECK_MSG(in.good(), "BasicTree::load: cannot open file");
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  support::ByteReader r(bytes);
+  return decode(r);
+}
+
+double TreeProblem::root_bound() const {
+  return honor_bounds_ ? tree_->root().bound : -kInfinity;
+}
+
+NodeEval TreeProblem::eval(const core::PathCode& code) const {
+  const std::int32_t idx = tree_->resolve(code);
+  const TreeNode& n = tree_->node(static_cast<std::size_t>(idx));
+  NodeEval out;
+  out.cost = n.cost;
+  if (n.feasible) {
+    out.feasible_leaf = true;
+    out.value = n.value;
+    return out;
+  }
+  if (n.is_leaf()) return out;  // infeasible dead end
+  for (int bit = 0; bit < 2; ++bit) {
+    const TreeNode& child = tree_->node(static_cast<std::size_t>(n.child[bit]));
+    out.children.push_back(ChildOut{
+        n.var, static_cast<std::uint8_t>(bit),
+        honor_bounds_ ? child.bound : -kInfinity, false});
+  }
+  return out;
+}
+
+double TreeProblem::bound_of(const core::PathCode& code) const {
+  if (!honor_bounds_) return -kInfinity;
+  return tree_->node(static_cast<std::size_t>(tree_->resolve(code))).bound;
+}
+
+std::optional<double> TreeProblem::known_optimal() const {
+  return tree_->optimal_value();
+}
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,170 @@
+#include "bnb/knapsack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace ftbb::bnb {
+
+KnapsackInstance KnapsackInstance::random_uncorrelated(std::size_t n,
+                                                       std::int64_t max_coeff,
+                                                       double capacity_fraction,
+                                                       std::uint64_t seed) {
+  FTBB_CHECK(max_coeff >= 1);
+  support::Rng rng(seed);
+  KnapsackInstance inst;
+  inst.weight.reserve(n);
+  inst.profit.reserve(n);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.weight.push_back(rng.range(1, max_coeff));
+    inst.profit.push_back(rng.range(1, max_coeff));
+    total += inst.weight.back();
+  }
+  inst.capacity = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(capacity_fraction * static_cast<double>(total)));
+  return inst;
+}
+
+KnapsackInstance KnapsackInstance::strongly_correlated(std::size_t n,
+                                                       std::int64_t max_coeff,
+                                                       double capacity_fraction,
+                                                       std::uint64_t seed) {
+  FTBB_CHECK(max_coeff >= 10);
+  support::Rng rng(seed);
+  KnapsackInstance inst;
+  inst.weight.reserve(n);
+  inst.profit.reserve(n);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t w = rng.range(1, max_coeff);
+    inst.weight.push_back(w);
+    inst.profit.push_back(w + max_coeff / 10);
+    total += w;
+  }
+  inst.capacity = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(capacity_fraction * static_cast<double>(total)));
+  return inst;
+}
+
+std::int64_t KnapsackInstance::dp_optimal_profit() const {
+  FTBB_CHECK_MSG(capacity >= 0 && static_cast<double>(capacity) * static_cast<double>(items()) <=
+                     5e8,
+                 "dp_optimal_profit: instance too large for DP verification");
+  std::vector<std::int64_t> best(static_cast<std::size_t>(capacity) + 1, 0);
+  for (std::size_t i = 0; i < items(); ++i) {
+    const auto w = static_cast<std::size_t>(weight[i]);
+    for (std::size_t c = best.size(); c-- > w;) {
+      best[c] = std::max(best[c], best[c - w] + profit[i]);
+    }
+  }
+  return best.back();
+}
+
+KnapsackModel::KnapsackModel(KnapsackInstance instance, NodeCostModel cost)
+    : instance_(std::move(instance)), cost_(cost) {
+  FTBB_CHECK(instance_.weight.size() == instance_.profit.size());
+  // Sort items by decreasing profit density; variable indices refer to this
+  // order from here on.
+  std::vector<std::size_t> order(instance_.items());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double da = static_cast<double>(instance_.profit[a]) /
+                      static_cast<double>(instance_.weight[a]);
+    const double db = static_cast<double>(instance_.profit[b]) /
+                      static_cast<double>(instance_.weight[b]);
+    return da > db;
+  });
+  KnapsackInstance sorted;
+  sorted.capacity = instance_.capacity;
+  sorted.weight.reserve(order.size());
+  sorted.profit.reserve(order.size());
+  for (const std::size_t i : order) {
+    sorted.weight.push_back(instance_.weight[i]);
+    sorted.profit.push_back(instance_.profit[i]);
+  }
+  instance_ = std::move(sorted);
+  if (static_cast<double>(instance_.capacity) * static_cast<double>(instance_.items()) <= 5e8) {
+    known_optimal_ = -static_cast<double>(instance_.dp_optimal_profit());
+  }
+}
+
+KnapsackModel::State KnapsackModel::replay(const core::PathCode& code) const {
+  State s;
+  s.decided.assign(instance_.items(), -1);
+  s.cap_left = instance_.capacity;
+  for (const core::Branch& step : code.steps()) {
+    FTBB_CHECK_MSG(step.var < instance_.items(), "knapsack code: bad variable");
+    FTBB_CHECK_MSG(s.decided[step.var] == -1, "knapsack code: variable decided twice");
+    s.decided[step.var] = static_cast<std::int8_t>(step.bit);
+    if (step.bit == 1) {
+      s.cap_left -= instance_.weight[step.var];
+      s.profit += instance_.profit[step.var];
+      FTBB_CHECK_MSG(s.cap_left >= 0, "knapsack code: capacity violated");
+    }
+  }
+  return s;
+}
+
+std::optional<std::uint32_t> KnapsackModel::next_var(const State& s) const {
+  for (std::size_t i = 0; i < instance_.items(); ++i) {
+    if (s.decided[i] == -1 && instance_.weight[i] <= s.cap_left) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+double KnapsackModel::bound_of(const State& s) const {
+  // Dantzig bound: fill greedily by density (items are density-sorted),
+  // take a fractional piece of the first item that does not fit.
+  double profit = static_cast<double>(s.profit);
+  std::int64_t cap = s.cap_left;
+  for (std::size_t i = 0; i < instance_.items(); ++i) {
+    if (s.decided[i] != -1) continue;
+    if (instance_.weight[i] <= cap) {
+      cap -= instance_.weight[i];
+      profit += static_cast<double>(instance_.profit[i]);
+    } else {
+      profit += static_cast<double>(instance_.profit[i]) *
+                (static_cast<double>(cap) / static_cast<double>(instance_.weight[i]));
+      break;
+    }
+  }
+  return -profit;
+}
+
+double KnapsackModel::root_bound() const { return bound_of(replay(core::PathCode::root())); }
+
+double KnapsackModel::bound_of(const core::PathCode& code) const {
+  return bound_of(replay(code));
+}
+
+NodeEval KnapsackModel::eval(const core::PathCode& code) const {
+  const State s = replay(code);
+  NodeEval out;
+  out.cost = cost_.cost_for(code);
+  const std::optional<std::uint32_t> var = next_var(s);
+  if (!var.has_value()) {
+    // Every remaining item is implicitly out: this is a feasible leaf whose
+    // value is the packed profit.
+    out.feasible_leaf = true;
+    out.value = -static_cast<double>(s.profit);
+    return out;
+  }
+  for (const std::uint8_t bit : {std::uint8_t{1}, std::uint8_t{0}}) {
+    State child = s;
+    child.decided[*var] = static_cast<std::int8_t>(bit);
+    if (bit == 1) {
+      child.cap_left -= instance_.weight[*var];
+      child.profit += instance_.profit[*var];
+    }
+    out.children.push_back(ChildOut{*var, bit, bound_of(child), false});
+  }
+  return out;
+}
+
+std::optional<double> KnapsackModel::known_optimal() const { return known_optimal_; }
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,100 @@
+// 0/1 knapsack as a B&B problem model.
+//
+// Knapsack is the classic binary-branching optimization problem: each
+// decision fixes one item in (bit 1) or out (bit 0) of the knapsack. The
+// framework minimizes, so the objective is the negated packed profit, and
+// the bound is the negated Dantzig fractional relaxation.
+//
+// Branching order is *state dependent*: the next branching variable is the
+// first (highest profit-density) undecided item that still fits the residual
+// capacity; items that no longer fit are implicitly fixed out. Different
+// subtrees therefore branch on different variables at the same depth, which
+// exercises the paper's requirement (Section 5.3.1) that codes carry the
+// condition variable, not just the branch bit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bnb/problem.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::bnb {
+
+/// An immutable knapsack instance. Items are stored sorted by decreasing
+/// profit density; variable indices in path codes refer to this order.
+struct KnapsackInstance {
+  std::vector<std::int64_t> weight;
+  std::vector<std::int64_t> profit;
+  std::int64_t capacity = 0;
+
+  [[nodiscard]] std::size_t items() const { return weight.size(); }
+
+  /// Uniform weights/profits in [1, max_coeff]; easy instances.
+  static KnapsackInstance random_uncorrelated(std::size_t n, std::int64_t max_coeff,
+                                              double capacity_fraction,
+                                              std::uint64_t seed);
+
+  /// Strongly correlated: profit = weight + max_coeff/10. These produce the
+  /// large, bushy search trees used to drive the experiments.
+  static KnapsackInstance strongly_correlated(std::size_t n, std::int64_t max_coeff,
+                                              double capacity_fraction,
+                                              std::uint64_t seed);
+
+  /// Exact optimum (maximum packable profit) by dynamic programming; only
+  /// callable when items()*capacity is small enough to be practical.
+  [[nodiscard]] std::int64_t dp_optimal_profit() const;
+};
+
+/// Cost model attached to live problems: virtual seconds per node expansion,
+/// drawn deterministically per code from a lognormal distribution so reruns
+/// and re-executions after failures observe identical costs.
+struct NodeCostModel {
+  double mean = 0.01;  // paper Figure 3 uses 0.01 s/node
+  double cv = 0.3;     // coefficient of variation
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] double cost_for(const core::PathCode& code) const {
+    if (cv == 0.0) return mean;
+    support::Rng rng(support::mix64(seed, code.hash()));
+    return rng.lognormal_mean_cv(mean, cv);
+  }
+};
+
+class KnapsackModel final : public IProblemModel {
+ public:
+  KnapsackModel(KnapsackInstance instance, NodeCostModel cost = {});
+
+  [[nodiscard]] double root_bound() const override;
+  [[nodiscard]] NodeEval eval(const core::PathCode& code) const override;
+  [[nodiscard]] std::string name() const override { return "knapsack"; }
+  [[nodiscard]] double bound_of(const core::PathCode& code) const override;
+  [[nodiscard]] std::optional<double> known_optimal() const override;
+
+  [[nodiscard]] const KnapsackInstance& instance() const { return instance_; }
+
+ private:
+  struct State {
+    std::vector<std::int8_t> decided;  // -1 unset, 0 out, 1 in
+    std::int64_t cap_left = 0;
+    std::int64_t profit = 0;
+  };
+
+  /// Replays the decision sequence; aborts on codes that are not valid for
+  /// this instance (they cannot be produced by a correct run).
+  [[nodiscard]] State replay(const core::PathCode& code) const;
+
+  /// First undecided item that still fits, or nullopt when the node is a
+  /// leaf (every remaining item is implicitly out).
+  [[nodiscard]] std::optional<std::uint32_t> next_var(const State& s) const;
+
+  /// Lower bound (negated fractional-relaxation profit) for a state.
+  [[nodiscard]] double bound_of(const State& s) const;
+
+  KnapsackInstance instance_;  // sorted by density desc
+  NodeCostModel cost_;
+  std::optional<double> known_optimal_;
+};
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,105 @@
+#include "bnb/partition.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <numeric>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::bnb {
+
+std::int64_t PartitionInstance::total() const {
+  return std::accumulate(values.begin(), values.end(), std::int64_t{0});
+}
+
+PartitionInstance PartitionInstance::random(std::size_t n, std::int64_t max_value,
+                                            std::uint64_t seed) {
+  FTBB_CHECK(max_value >= 1);
+  support::Rng rng(seed);
+  PartitionInstance inst;
+  inst.values.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) inst.values.push_back(rng.range(1, max_value));
+  std::sort(inst.values.begin(), inst.values.end(), std::greater<>());
+  return inst;
+}
+
+std::int64_t PartitionInstance::dp_optimal_difference() const {
+  const std::int64_t sum = total();
+  FTBB_CHECK_MSG(sum <= 50'000'000, "dp_optimal_difference: instance too large");
+  // Reachable subset sums up to sum/2.
+  const auto half = static_cast<std::size_t>(sum / 2);
+  std::vector<char> reachable(half + 1, 0);
+  reachable[0] = 1;
+  for (const std::int64_t v : values) {
+    const auto value = static_cast<std::size_t>(v);
+    for (std::size_t s = half + 1; s-- > value;) {
+      if (reachable[s - value]) reachable[s] = 1;
+    }
+  }
+  for (std::size_t s = half + 1; s-- > 0;) {
+    if (reachable[s]) return sum - 2 * static_cast<std::int64_t>(s);
+  }
+  return sum;
+}
+
+PartitionModel::PartitionModel(PartitionInstance instance, NodeCostModel cost)
+    : instance_(std::move(instance)), cost_(cost) {
+  std::sort(instance_.values.begin(), instance_.values.end(), std::greater<>());
+  if (instance_.total() <= 5'000'000) {
+    known_optimal_ = static_cast<double>(instance_.dp_optimal_difference());
+  }
+}
+
+PartitionModel::State PartitionModel::replay(const core::PathCode& code) const {
+  State s;
+  s.remaining = instance_.total();
+  for (const core::Branch& step : code.steps()) {
+    FTBB_CHECK_MSG(step.var == s.assigned, "partition code: out-of-order variable");
+    FTBB_CHECK_MSG(step.var < instance_.values.size(), "partition code: bad variable");
+    const std::int64_t v = instance_.values[step.var];
+    s.diff += step.bit ? v : -v;
+    s.remaining -= v;
+    ++s.assigned;
+  }
+  return s;
+}
+
+double PartitionModel::bound_of(const State& s) {
+  const std::int64_t imbalance = std::abs(s.diff);
+  return static_cast<double>(std::max<std::int64_t>(0, imbalance - s.remaining));
+}
+
+double PartitionModel::root_bound() const {
+  return bound_of(replay(core::PathCode::root()));
+}
+
+double PartitionModel::bound_of(const core::PathCode& code) const {
+  return bound_of(replay(code));
+}
+
+NodeEval PartitionModel::eval(const core::PathCode& code) const {
+  const State s = replay(code);
+  NodeEval out;
+  out.cost = cost_.cost_for(code);
+  if (s.assigned == instance_.values.size()) {
+    out.feasible_leaf = true;
+    out.value = static_cast<double>(std::abs(s.diff));
+    return out;
+  }
+  const auto var = static_cast<std::uint32_t>(s.assigned);
+  const std::int64_t v = instance_.values[var];
+  for (const std::uint8_t bit : {std::uint8_t{1}, std::uint8_t{0}}) {
+    State child = s;
+    child.diff += bit ? v : -v;
+    child.remaining -= v;
+    ++child.assigned;
+    out.children.push_back(ChildOut{var, bit, bound_of(child), false});
+  }
+  return out;
+}
+
+std::optional<double> PartitionModel::known_optimal() const { return known_optimal_; }
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,143 @@
+#include "bnb/pool.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ftbb::bnb {
+
+const char* to_string(SelectRule rule) {
+  switch (rule) {
+    case SelectRule::kBestFirst:
+      return "best-first";
+    case SelectRule::kDepthFirst:
+      return "depth-first";
+    case SelectRule::kBreadthFirst:
+      return "breadth-first";
+  }
+  return "?";
+}
+
+ActivePool::ActivePool(SelectRule rule) : rule_(rule) {}
+
+bool ActivePool::ranks_before(const Subproblem& a, const Subproblem& b) const {
+  switch (rule_) {
+    case SelectRule::kBestFirst:
+      if (a.bound != b.bound) return a.bound < b.bound;
+      // Among equal bounds prefer the deeper problem: it is closer to a
+      // feasible solution, which tightens the incumbent sooner.
+      if (a.code.depth() != b.code.depth()) return a.code.depth() > b.code.depth();
+      break;
+    case SelectRule::kDepthFirst:
+      if (a.code.depth() != b.code.depth()) return a.code.depth() > b.code.depth();
+      if (a.bound != b.bound) return a.bound < b.bound;
+      break;
+    case SelectRule::kBreadthFirst:
+      if (a.code.depth() != b.code.depth()) return a.code.depth() < b.code.depth();
+      if (a.bound != b.bound) return a.bound < b.bound;
+      break;
+  }
+  return a.code < b.code;
+}
+
+void ActivePool::push(Subproblem p) {
+  entries_.push_back(std::move(p));
+  sift_up(entries_.size() - 1);
+}
+
+Subproblem ActivePool::pop() {
+  FTBB_CHECK_MSG(!entries_.empty(), "pop from empty pool");
+  Subproblem top = std::move(entries_.front());
+  entries_.front() = std::move(entries_.back());
+  entries_.pop_back();
+  if (!entries_.empty()) sift_down(0);
+  return top;
+}
+
+double ActivePool::best_bound() const {
+  double best = kInfinity;
+  for (const Subproblem& p : entries_) best = std::min(best, p.bound);
+  return best;
+}
+
+std::vector<Subproblem> ActivePool::remove_if(
+    const std::function<bool(const Subproblem&)>& victim) {
+  std::vector<Subproblem> removed;
+  // In-place compaction: survivors shift left over removed slots, so the
+  // entries vector never holds moved-from elements.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < entries_.size(); ++read) {
+    if (victim(entries_[read])) {
+      removed.push_back(std::move(entries_[read]));
+    } else {
+      if (write != read) entries_[write] = std::move(entries_[read]);
+      ++write;
+    }
+  }
+  if (!removed.empty()) {
+    entries_.resize(write);
+    rebuild();
+  }
+  return removed;
+}
+
+std::vector<Subproblem> ActivePool::extract_for_sharing(std::size_t k) {
+  k = std::min(k, entries_.size());
+  if (k == 0) return {};
+  // Index sort by (depth asc, bound asc, code) — shallowest first.
+  std::vector<std::size_t> idx(entries_.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
+    const Subproblem& pa = entries_[a];
+    const Subproblem& pb = entries_[b];
+    if (pa.code.depth() != pb.code.depth()) return pa.code.depth() < pb.code.depth();
+    if (pa.bound != pb.bound) return pa.bound < pb.bound;
+    return pa.code < pb.code;
+  });
+  std::vector<bool> take(entries_.size(), false);
+  for (std::size_t i = 0; i < k; ++i) take[idx[i]] = true;
+  std::vector<Subproblem> out;
+  out.reserve(k);
+  std::vector<Subproblem> kept;
+  kept.reserve(entries_.size() - k);
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (take[i]) {
+      out.push_back(std::move(entries_[i]));
+    } else {
+      kept.push_back(std::move(entries_[i]));
+    }
+  }
+  entries_ = std::move(kept);
+  rebuild();
+  return out;
+}
+
+void ActivePool::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!ranks_before(entries_[i], entries_[parent])) break;
+    std::swap(entries_[i], entries_[parent]);
+    i = parent;
+  }
+}
+
+void ActivePool::sift_down(std::size_t i) {
+  const std::size_t n = entries_.size();
+  while (true) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && ranks_before(entries_[l], entries_[best])) best = l;
+    if (r < n && ranks_before(entries_[r], entries_[best])) best = r;
+    if (best == i) return;
+    std::swap(entries_[i], entries_[best]);
+    i = best;
+  }
+}
+
+void ActivePool::rebuild() {
+  if (entries_.size() < 2) return;
+  for (std::size_t i = entries_.size() / 2; i-- > 0;) sift_down(i);
+}
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,64 @@
+// The pool of active problems with the paper's Select rules (Section 2c).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "bnb/problem.hpp"
+
+namespace ftbb::bnb {
+
+/// Selection heuristics for the next problem to branch from.
+enum class SelectRule {
+  kBestFirst,    // smallest lower bound first
+  kDepthFirst,   // deepest first (LIFO flavor)
+  kBreadthFirst  // shallowest first (FIFO flavor)
+};
+
+[[nodiscard]] const char* to_string(SelectRule rule);
+
+/// Binary-heap pool ordered by the configured selection rule. All orderings
+/// break ties on the full path code so that pops are deterministic
+/// regardless of insertion history.
+class ActivePool {
+ public:
+  explicit ActivePool(SelectRule rule = SelectRule::kBestFirst);
+
+  void push(Subproblem p);
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Pops the problem the selection rule ranks first.
+  Subproblem pop();
+
+  /// Smallest bound present (kInfinity when empty) — useful for global-best
+  /// diagnostics.
+  [[nodiscard]] double best_bound() const;
+
+  /// Removes every entry matching `victim` (elimination by bound, or drop of
+  /// problems a work report proved completed); returns the removed entries
+  /// so the caller can classify them.
+  std::vector<Subproblem> remove_if(const std::function<bool(const Subproblem&)>& victim);
+
+  /// Extracts up to `k` problems for a work grant, preferring the
+  /// shallowest entries: shallow subproblems represent the largest subtrees
+  /// and are the classic choice for work transfer.
+  std::vector<Subproblem> extract_for_sharing(std::size_t k);
+
+  [[nodiscard]] const std::vector<Subproblem>& entries() const { return entries_; }
+  [[nodiscard]] SelectRule rule() const { return rule_; }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  [[nodiscard]] bool ranks_before(const Subproblem& a, const Subproblem& b) const;
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void rebuild();
+
+  SelectRule rule_;
+  std::vector<Subproblem> entries_;  // binary heap, entries_[0] = next pop
+};
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,90 @@
+// Branch-and-bound problem model (paper Section 2).
+//
+// FTBB treats every search problem as MINIMIZATION: Bound computes a lower
+// bound l(v) on the best solution inside subproblem v, and Eliminate prunes
+// v when l(v) >= U for the incumbent U (maximization problems negate their
+// objective; see KnapsackModel).
+//
+// A model is a *pure function of the subproblem code*: eval(code) must
+// return identical results on every processor and every call. This is the
+// paper's "self-contained code" property (Section 5.3.1) — a code plus the
+// initial data reconstructs the subproblem anywhere — and it is also what
+// makes redundant re-execution after failures harmless.
+//
+// Timing: eval(code).cost is the virtual time "needed for computing the
+// bound value and expanding the node or determining infeasibility" (Section
+// 6.2); the simulator charges it as B&B time. Expanding a node yields its
+// children *with bounds already computed* (bounds are needed for best-first
+// selection and elimination at insertion, exactly as in the paper's
+// operator list), so a node's cost covers decomposing it and bounding its
+// children.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/path_code.hpp"
+
+namespace ftbb::bnb {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// A child subproblem produced by Decompose, with its Bound already applied.
+struct ChildOut {
+  std::uint32_t var = 0;  // condition variable branched on (code step)
+  std::uint8_t bit = 0;   // branch taken
+  double bound = 0.0;     // lower bound l(child)
+  bool infeasible = false;  // known-empty child: completed immediately, no cost
+};
+
+/// Result of expanding one subproblem.
+struct NodeEval {
+  double cost = 0.0;          // virtual seconds consumed by this expansion
+  bool feasible_leaf = false;  // bounding produced a feasible solution
+  double value = kInfinity;    // that solution's objective (when feasible_leaf)
+  std::vector<ChildOut> children;  // empty and !feasible_leaf => dead end
+};
+
+/// A subproblem in flight: its code plus the bound computed at creation.
+struct Subproblem {
+  core::PathCode code;
+  double bound = 0.0;
+
+  friend bool operator==(const Subproblem&, const Subproblem&) = default;
+};
+
+/// Abstract search problem. Implementations must be deterministic,
+/// side-effect free, and safe to call concurrently (the real-time runtime
+/// shares one model across worker threads).
+class IProblemModel {
+ public:
+  virtual ~IProblemModel() = default;
+
+  /// Lower bound of the root problem.
+  [[nodiscard]] virtual double root_bound() const = 0;
+
+  /// Expand the subproblem identified by `code`.
+  [[nodiscard]] virtual NodeEval eval(const core::PathCode& code) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Recomputes the lower bound of an arbitrary subproblem from its code.
+  /// Used by failure recovery, which reconstructs subproblems from
+  /// complement codes alone (the paper's self-containment property). The
+  /// default is conservative: never eliminable.
+  [[nodiscard]] virtual double bound_of(const core::PathCode& code) const {
+    (void)code;
+    return -kInfinity;
+  }
+
+  /// True optimum when the instance has been solved offline, for
+  /// verification in tests and benches.
+  [[nodiscard]] virtual std::optional<double> known_optimal() const {
+    return std::nullopt;
+  }
+};
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,55 @@
+#include "bnb/sequential.hpp"
+
+#include <algorithm>
+
+namespace ftbb::bnb {
+
+SeqResult solve_sequential(const IProblemModel& model, const SeqOptions& options) {
+  SeqResult res;
+  ActivePool pool(options.rule);
+  pool.push(Subproblem{core::PathCode::root(), model.root_bound()});
+
+  while (!pool.empty()) {
+    if (res.expanded >= options.max_expansions) return res;  // completed stays false
+    const Subproblem p = pool.pop();
+    // Eliminate: the bound may have been promising at insertion but the
+    // incumbent has improved since.
+    if (options.enable_elimination && res.found_feasible && p.bound >= res.best_value) {
+      ++res.eliminated;
+      continue;
+    }
+    const NodeEval eval = model.eval(p.code);
+    ++res.expanded;
+    res.total_cost += eval.cost;
+    if (eval.feasible_leaf) {
+      ++res.feasible_leaves;
+      if (eval.value < res.best_value) {
+        res.best_value = eval.value;
+        res.best_code = p.code;
+        res.found_feasible = true;
+      }
+      continue;
+    }
+    if (eval.children.empty()) {
+      ++res.dead_ends;
+      continue;
+    }
+    for (const ChildOut& child : eval.children) {
+      if (child.infeasible) {
+        ++res.dead_ends;
+        continue;
+      }
+      if (options.enable_elimination && res.found_feasible &&
+          child.bound >= res.best_value) {
+        ++res.eliminated;
+        continue;
+      }
+      pool.push(Subproblem{p.code.child(child.var, child.bit != 0), child.bound});
+    }
+    res.peak_pool = std::max(res.peak_pool, pool.size());
+  }
+  res.completed = true;
+  return res;
+}
+
+}  // namespace ftbb::bnb

@@ -1,0 +1,38 @@
+// Sequential branch-and-bound (paper Section 2): the four-operator loop
+// over a pool of active problems. Serves as the correctness reference for
+// the distributed algorithm and as the uniprocessor baseline for speedup
+// measurements.
+#pragma once
+
+#include <cstdint>
+
+#include "bnb/pool.hpp"
+#include "bnb/problem.hpp"
+
+namespace ftbb::bnb {
+
+struct SeqOptions {
+  SelectRule rule = SelectRule::kBestFirst;
+  /// Eliminate problems with l(v) >= U; disable to traverse exhaustively.
+  bool enable_elimination = true;
+  /// Safety valve for tests; the solver aborts the loop when exceeded.
+  std::uint64_t max_expansions = UINT64_MAX;
+};
+
+struct SeqResult {
+  double best_value = kInfinity;
+  core::PathCode best_code;
+  bool found_feasible = false;
+  bool completed = false;  // pool drained within max_expansions
+  std::uint64_t expanded = 0;  // nodes whose cost was paid
+  std::uint64_t eliminated = 0;  // pruned by bound (pool or insert time)
+  std::uint64_t dead_ends = 0;  // infeasible leaves
+  std::uint64_t feasible_leaves = 0;
+  double total_cost = 0.0;  // uniprocessor virtual execution time
+  std::size_t peak_pool = 0;
+};
+
+/// Runs the reference algorithm to completion (or the expansion cap).
+SeqResult solve_sequential(const IProblemModel& model, const SeqOptions& options = {});
+
+}  // namespace ftbb::bnb

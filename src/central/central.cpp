@@ -1,0 +1,341 @@
+#include "central/central.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+
+#include "core/path_code.hpp"
+#include "sim/kernel.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::central {
+
+namespace {
+
+using core::PathCode;
+
+std::size_t batch_bytes(const std::vector<bnb::Subproblem>& batch) {
+  std::size_t bytes = 16;
+  for (const auto& p : batch) bytes += p.code.encoded_size() + 8;
+  return bytes;
+}
+
+struct Worker;
+
+struct Batch {
+  std::vector<bnb::Subproblem> problems;
+  std::uint32_t worker = 0;
+  double issued_at = 0.0;
+};
+
+struct Sim {
+  const bnb::IProblemModel& model;
+  CentralConfig cfg;
+  sim::Kernel kernel;
+  std::unique_ptr<sim::Network> net;
+  std::vector<std::unique_ptr<Worker>> workers;
+  double time_limit;
+
+  // --- manager state (node 0) ---
+  bool manager_alive = true;
+  std::deque<bnb::Subproblem> pool;
+  double incumbent = bnb::kInfinity;
+  std::unordered_map<std::uint64_t, Batch> outstanding;
+  std::uint64_t next_batch_id = 1;
+  std::vector<std::uint32_t> waiting_workers;  // fetch requests with empty pool
+
+  // --- checkpoint (stable storage survives the manager crash) ---
+  struct Checkpoint {
+    std::deque<bnb::Subproblem> pool;
+    double incumbent = bnb::kInfinity;
+    std::vector<Batch> outstanding;  // reissued wholesale on restart
+  };
+  std::optional<Checkpoint> checkpoint;
+
+  bool concluded = false;
+  double concluded_at = 0.0;
+  bool failed = false;  // manager died without checkpointing
+
+  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> expansions;
+  std::uint64_t total_expanded = 0;
+  std::uint64_t manager_messages = 0;
+  std::uint64_t reissues = 0;
+  std::uint64_t manager_restarts = 0;
+
+  Sim(const bnb::IProblemModel& m, const CentralConfig& c, double limit)
+      : model(m), cfg(c), time_limit(limit) {}
+
+  void manager_prune() {
+    if (!cfg.enable_elimination) return;
+    std::erase_if(pool, [this](const bnb::Subproblem& p) {
+      return p.bound >= incumbent;
+    });
+  }
+
+  void try_dispatch();
+  void on_fetch(std::uint32_t worker);
+  void on_result(std::uint64_t batch_id, double best,
+                 std::vector<bnb::Subproblem> children);
+  void maybe_conclude();
+  void audit();
+  void take_checkpoint();
+  void crash_manager();
+  void restart_manager();
+};
+
+struct Worker {
+  Sim* sim;
+  std::uint32_t id;  // 1-based node id (0 is the manager)
+  bool alive = true;
+  bool busy = false;
+  bool stopped = false;
+  bool fetch_outstanding = false;
+  double incumbent = bnb::kInfinity;
+  std::uint64_t expanded = 0;
+
+  Worker(Sim* s, std::uint32_t i) : sim(s), id(i) {}
+
+  [[nodiscard]] bool running() const { return alive && !stopped; }
+
+  void fetch() {
+    if (!running() || busy || fetch_outstanding) return;
+    fetch_outstanding = true;
+    sim->net->send(id, 0, 16, sim->kernel.now(), [this] {
+      ++sim->manager_messages;
+      if (sim->manager_alive) sim->on_fetch(id);
+    });
+    // Fetches lost to a down manager are retried.
+    sim->kernel.after(sim->cfg.reissue_timeout, [this] {
+      if (running() && fetch_outstanding) {
+        fetch_outstanding = false;
+        fetch();
+      }
+    });
+  }
+
+  void on_batch(std::uint64_t batch_id, std::vector<bnb::Subproblem> problems,
+                double best) {
+    if (!running()) return;
+    fetch_outstanding = false;
+    incumbent = std::min(incumbent, best);
+    busy = true;
+    process(batch_id, std::move(problems), {}, 0.0);
+  }
+
+  /// Expands the batch one node at a time, accumulating children; ships the
+  /// result back when done.
+  void process(std::uint64_t batch_id, std::vector<bnb::Subproblem> todo,
+               std::vector<bnb::Subproblem> children, double /*elapsed*/) {
+    if (!running()) return;
+    if (todo.empty()) {
+      busy = false;
+      sim->net->send(id, 0, batch_bytes(children), sim->kernel.now(),
+                     [this, batch_id, children = std::move(children)]() mutable {
+                       ++sim->manager_messages;
+                       if (sim->manager_alive) {
+                         sim->on_result(batch_id, incumbent, std::move(children));
+                       }
+                     });
+      fetch();
+      return;
+    }
+    bnb::Subproblem p = std::move(todo.back());
+    todo.pop_back();
+    if (sim->cfg.enable_elimination && p.bound >= incumbent) {
+      process(batch_id, std::move(todo), std::move(children), 0.0);
+      return;
+    }
+    const bnb::NodeEval eval = sim->model.eval(p.code);
+    ++expanded;
+    ++sim->total_expanded;
+    ++sim->expansions[p.code];
+    sim->kernel.after(
+        eval.cost, [this, batch_id, todo = std::move(todo),
+                    children = std::move(children), p = std::move(p), eval]() mutable {
+          if (!running()) return;
+          if (eval.feasible_leaf) {
+            incumbent = std::min(incumbent, eval.value);
+          } else {
+            for (const bnb::ChildOut& child : eval.children) {
+              if (child.infeasible) continue;
+              if (sim->cfg.enable_elimination && child.bound >= incumbent) continue;
+              children.push_back(bnb::Subproblem{
+                  p.code.child(child.var, child.bit != 0), child.bound});
+            }
+          }
+          process(batch_id, std::move(todo), std::move(children), 0.0);
+        });
+  }
+};
+
+void Sim::try_dispatch() {
+  while (!waiting_workers.empty() && !pool.empty()) {
+    const std::uint32_t w = waiting_workers.back();
+    waiting_workers.pop_back();
+    std::vector<bnb::Subproblem> batch;
+    for (std::uint32_t i = 0; i < cfg.batch_size && !pool.empty(); ++i) {
+      batch.push_back(std::move(pool.front()));
+      pool.pop_front();
+    }
+    const std::uint64_t batch_id = next_batch_id++;
+    outstanding.emplace(batch_id, Batch{batch, w, kernel.now()});
+    Worker* worker = workers[w - 1].get();
+    net->send(0, w, batch_bytes(batch), kernel.now(),
+              [worker, batch_id, batch = std::move(batch), best = incumbent] {
+                worker->on_batch(batch_id, batch, best);
+              });
+  }
+}
+
+void Sim::on_fetch(std::uint32_t worker) {
+  waiting_workers.push_back(worker);
+  try_dispatch();
+  maybe_conclude();
+}
+
+void Sim::on_result(std::uint64_t batch_id, double best,
+                    std::vector<bnb::Subproblem> children) {
+  if (best < incumbent) {
+    incumbent = best;
+    manager_prune();
+  }
+  if (outstanding.erase(batch_id) == 0) {
+    // Reissued batch answered twice; the duplicate's children are dropped —
+    // safe because reissue re-derives them.
+    return;
+  }
+  for (auto& child : children) {
+    if (cfg.enable_elimination && child.bound >= incumbent) continue;
+    pool.push_back(std::move(child));
+  }
+  try_dispatch();
+  maybe_conclude();
+}
+
+void Sim::maybe_conclude() {
+  if (concluded || !manager_alive) return;
+  if (!pool.empty() || !outstanding.empty()) return;
+  concluded = true;
+  concluded_at = kernel.now();
+  for (auto& w : workers) {
+    net->send(0, w->id, 16, kernel.now(), [wp = w.get()] { wp->stopped = true; });
+  }
+}
+
+void Sim::audit() {
+  if (manager_alive && !concluded) {
+    const double now = kernel.now();
+    std::vector<std::uint64_t> expired;
+    for (const auto& [batch_id, batch] : outstanding) {
+      const Worker& w = *workers[batch.worker - 1];
+      if (!w.alive || now - batch.issued_at > cfg.reissue_timeout * 4) {
+        expired.push_back(batch_id);
+      }
+    }
+    for (const std::uint64_t batch_id : expired) {
+      Batch batch = outstanding.at(batch_id);
+      outstanding.erase(batch_id);
+      ++reissues;
+      for (auto& p : batch.problems) pool.push_back(std::move(p));
+    }
+    if (!expired.empty()) try_dispatch();
+  }
+  if (!concluded && kernel.now() + cfg.audit_interval < time_limit) {
+    kernel.after(cfg.audit_interval, [this] { audit(); });
+  }
+}
+
+void Sim::take_checkpoint() {
+  if (manager_alive && !concluded) {
+    Checkpoint cp;
+    cp.pool = pool;
+    cp.incumbent = incumbent;
+    for (const auto& [id, batch] : outstanding) cp.outstanding.push_back(batch);
+    checkpoint = std::move(cp);
+  }
+  if (!concluded && kernel.now() + cfg.checkpoint_interval < time_limit) {
+    kernel.after(cfg.checkpoint_interval, [this] { take_checkpoint(); });
+  }
+}
+
+void Sim::crash_manager() {
+  if (!manager_alive || concluded) return;
+  manager_alive = false;
+  if (!cfg.checkpointing) {
+    failed = true;  // unrecoverable: the paper's single point of failure
+    return;
+  }
+  kernel.after(cfg.restart_delay, [this] { restart_manager(); });
+}
+
+void Sim::restart_manager() {
+  ++manager_restarts;
+  manager_alive = true;
+  pool.clear();
+  outstanding.clear();
+  waiting_workers.clear();
+  if (checkpoint.has_value()) {
+    pool = checkpoint->pool;
+    incumbent = checkpoint->incumbent;
+    // Outstanding work at checkpoint time is simply requeued.
+    for (const Batch& batch : checkpoint->outstanding) {
+      for (const auto& p : batch.problems) pool.push_back(p);
+    }
+  } else {
+    pool.push_back(bnb::Subproblem{PathCode::root(), model.root_bound()});
+  }
+  // Workers re-fetch on their own timeout cycle.
+}
+
+}  // namespace
+
+CentralResult CentralSim::run(const bnb::IProblemModel& model, std::uint32_t worker_count,
+                              const CentralConfig& config, const sim::NetConfig& net,
+                              const std::vector<CentralCrash>& crashes,
+                              double time_limit, std::uint64_t seed) {
+  FTBB_CHECK(worker_count >= 1);
+  Sim sim(model, config, time_limit);
+  support::Rng master(seed);
+  sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x63656e74));
+  for (std::uint32_t i = 1; i <= worker_count; ++i) {
+    sim.workers.push_back(std::make_unique<Worker>(&sim, i));
+  }
+  sim.pool.push_back(bnb::Subproblem{PathCode::root(), model.root_bound()});
+  for (auto& w : sim.workers) {
+    sim.kernel.at(0.0, [wp = w.get()] { wp->fetch(); });
+  }
+  sim.kernel.after(config.audit_interval, [&sim] { sim.audit(); });
+  if (config.checkpointing) {
+    sim.kernel.after(config.checkpoint_interval, [&sim] { sim.take_checkpoint(); });
+  }
+  for (const CentralCrash& crash : crashes) {
+    sim.kernel.at(crash.time, [&sim, crash] {
+      if (crash.node == 0) {
+        sim.crash_manager();
+      } else if (crash.node <= sim.workers.size()) {
+        sim.workers[crash.node - 1]->alive = false;
+      }
+    });
+  }
+  const auto kr = sim.kernel.run(time_limit);
+
+  CentralResult result;
+  result.completed = sim.concluded;
+  result.solution = sim.incumbent;
+  result.solution_found = sim.incumbent < bnb::kInfinity;
+  result.makespan =
+      sim.concluded ? sim.concluded_at : std::min(sim.kernel.now(), time_limit);
+  result.hit_time_limit = kr.hit_time_limit;
+  result.total_expanded = sim.total_expanded;
+  result.unique_expanded = sim.expansions.size();
+  result.redundant_expansions = sim.total_expanded - result.unique_expanded;
+  result.manager_messages = sim.manager_messages;
+  result.reissues = sim.reissues;
+  result.manager_restarts = sim.manager_restarts;
+  result.net = sim.net->stats();
+  return result;
+}
+
+}  // namespace ftbb::central

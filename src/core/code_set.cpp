@@ -1,0 +1,295 @@
+#include "core/code_set.hpp"
+
+#include <algorithm>
+
+namespace ftbb::core {
+
+CodeSet::CodeSet() { clear(); }
+
+void CodeSet::clear() {
+  nodes_.clear();
+  free_list_.clear();
+  complete_count_ = 0;
+  body_bytes_ = 0;
+  live_nodes_ = 0;
+  // Node 0 is always the root problem.
+  nodes_.push_back(Node{});
+  nodes_[0].in_use = true;
+  live_nodes_ = 1;
+}
+
+std::int32_t CodeSet::alloc_node() {
+  ++live_nodes_;
+  if (!free_list_.empty()) {
+    const std::int32_t idx = free_list_.back();
+    free_list_.pop_back();
+    nodes_[static_cast<std::size_t>(idx)] = Node{};
+    nodes_[static_cast<std::size_t>(idx)].in_use = true;
+    return idx;
+  }
+  nodes_.push_back(Node{});
+  nodes_.back().in_use = true;
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void CodeSet::free_subtree(std::int32_t idx) {
+  Node& n = nodes_[static_cast<std::size_t>(idx)];
+  for (const std::int32_t c : n.child) {
+    if (c >= 0) free_subtree(c);
+  }
+  n.in_use = false;
+  --live_nodes_;
+  free_list_.push_back(idx);
+}
+
+void CodeSet::drop_completed_below(std::int32_t idx) {
+  // Codes completed somewhere under idx are about to be subsumed by an
+  // ancestor; remove them from the export accounting before the subtree is
+  // discarded.
+  const Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.complete) {
+    --complete_count_;
+    body_bytes_ -= code_bytes(n);
+    return;  // complete nodes are leaves; nothing below
+  }
+  for (const std::int32_t c : n.child) {
+    if (c >= 0) drop_completed_below(c);
+  }
+}
+
+void CodeSet::mark_complete(std::int32_t idx, InsertResult& res) {
+  {
+    Node& n = nodes_[static_cast<std::size_t>(idx)];
+    FTBB_CHECK(!n.complete);
+    // Subsume any completions previously recorded inside this subtree.
+    for (std::int32_t& c : n.child) {
+      if (c >= 0) {
+        drop_completed_below(c);
+        free_subtree(c);
+        c = -1;
+      }
+    }
+    n.complete = true;
+    ++complete_count_;
+    body_bytes_ += code_bytes(n);
+  }
+
+  // List contraction: while the sibling is also complete, replace the pair
+  // by their parent (recursively) — Section 5.3.2.
+  std::int32_t cur = idx;
+  while (true) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    const std::int32_t parent = n.parent;
+    if (parent < 0) break;  // reached the root
+    Node& p = nodes_[static_cast<std::size_t>(parent)];
+    const std::int32_t sib = p.child[n.bit_in_parent ^ 1];
+    if (sib < 0 || !nodes_[static_cast<std::size_t>(sib)].complete) break;
+
+    // Both children complete -> parent complete.
+    for (const std::int32_t c : p.child) {
+      --complete_count_;
+      body_bytes_ -= code_bytes(nodes_[static_cast<std::size_t>(c)]);
+      free_subtree(c);
+    }
+    p.child[0] = -1;
+    p.child[1] = -1;
+    p.complete = true;
+    ++complete_count_;
+    body_bytes_ += code_bytes(p);
+    ++res.merges;
+    cur = parent;
+  }
+}
+
+CodeSet::InsertResult CodeSet::insert(const PathCode& code) {
+  InsertResult res;
+  std::int32_t cur = 0;
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    Node& n = nodes_[static_cast<std::size_t>(cur)];
+    ++res.nodes_walked;
+    if (n.complete) return res;  // covered by an ancestor; nothing to do
+    const Branch& step = code.step(i);
+    if (n.var == kNoVar) {
+      n.var = step.var;
+    } else {
+      FTBB_CHECK_MSG(n.var == step.var,
+                     "CodeSet: codes disagree on a node's branching variable "
+                     "(codes must come from one search tree)");
+    }
+    std::int32_t next = n.child[step.bit];
+    if (next < 0) {
+      next = alloc_node();
+      Node& parent = nodes_[static_cast<std::size_t>(cur)];  // realloc-safe refetch
+      Node& child = nodes_[static_cast<std::size_t>(next)];
+      child.parent = cur;
+      child.bit_in_parent = step.bit;
+      child.depth = parent.depth + 1;
+      child.body_bytes =
+          parent.body_bytes +
+          static_cast<std::uint32_t>(support::varint_size(
+              (static_cast<std::uint64_t>(step.var) << 1) | step.bit));
+      parent.child[step.bit] = next;
+    }
+    cur = next;
+  }
+  ++res.nodes_walked;
+  if (nodes_[static_cast<std::size_t>(cur)].complete) return res;
+  res.newly_covered = true;
+  mark_complete(cur, res);
+  return res;
+}
+
+CodeSet::InsertResult CodeSet::insert_all(const std::vector<PathCode>& codes) {
+  InsertResult total;
+  for (const PathCode& c : codes) {
+    const InsertResult r = insert(c);
+    total.newly_covered = total.newly_covered || r.newly_covered;
+    total.nodes_walked += r.nodes_walked;
+    total.merges += r.merges;
+  }
+  return total;
+}
+
+bool CodeSet::covered(const PathCode& code) const {
+  std::int32_t cur = 0;
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.complete) return true;
+    const Branch& step = code.step(i);
+    if (n.var != kNoVar && n.var != step.var) return false;  // different tree region knowledge
+    const std::int32_t next = n.child[step.bit];
+    if (next < 0) return false;
+    cur = next;
+  }
+  return nodes_[static_cast<std::size_t>(cur)].complete;
+}
+
+std::optional<PathCode> CodeSet::covering_code(const PathCode& code) const {
+  std::int32_t cur = 0;
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.complete) return code.prefix(i);
+    const Branch& step = code.step(i);
+    if (n.var != kNoVar && n.var != step.var) return std::nullopt;
+    const std::int32_t next = n.child[step.bit];
+    if (next < 0) return std::nullopt;
+    cur = next;
+  }
+  if (nodes_[static_cast<std::size_t>(cur)].complete) return code;
+  return std::nullopt;
+}
+
+bool CodeSet::root_complete() const { return nodes_[0].complete; }
+
+void CodeSet::export_dfs(std::int32_t idx, std::vector<Branch>& path,
+                         std::vector<PathCode>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.complete) {
+    out.emplace_back(path);
+    return;
+  }
+  for (int bit = 0; bit < 2; ++bit) {
+    const std::int32_t c = n.child[bit];
+    if (c < 0) continue;
+    path.push_back(Branch{n.var, static_cast<std::uint8_t>(bit)});
+    export_dfs(c, path, out);
+    path.pop_back();
+  }
+}
+
+std::vector<PathCode> CodeSet::export_codes() const {
+  std::vector<PathCode> out;
+  out.reserve(complete_count_);
+  std::vector<Branch> path;
+  export_dfs(0, path, out);
+  return out;
+}
+
+void CodeSet::complement_dfs(std::int32_t idx, std::vector<Branch>& path,
+                             std::vector<PathCode>& out) const {
+  const Node& n = nodes_[static_cast<std::size_t>(idx)];
+  if (n.complete) return;
+  if (n.var == kNoVar) {
+    // No completion was ever reported below this node: the whole region is
+    // uncovered. (Only reachable for the empty table's root.)
+    out.emplace_back(path);
+    return;
+  }
+  for (int bit = 0; bit < 2; ++bit) {
+    const std::int32_t c = n.child[bit];
+    if (c < 0) {
+      // The sibling region never mentioned in any report; its tree node
+      // exists because this node was expanded on n.var.
+      path.push_back(Branch{n.var, static_cast<std::uint8_t>(bit)});
+      out.emplace_back(path);
+      path.pop_back();
+    } else if (!nodes_[static_cast<std::size_t>(c)].complete) {
+      path.push_back(Branch{n.var, static_cast<std::uint8_t>(bit)});
+      complement_dfs(c, path, out);
+      path.pop_back();
+    }
+  }
+}
+
+std::vector<PathCode> CodeSet::complement() const {
+  std::vector<PathCode> out;
+  std::vector<Branch> path;
+  complement_dfs(0, path, out);
+  return out;
+}
+
+void CodeSet::check_invariants() const {
+  std::size_t complete_seen = 0;
+  std::size_t bytes_seen = 0;
+  std::size_t live_seen = 0;
+  // Iterative DFS with explicit parent verification.
+  struct Frame {
+    std::int32_t idx;
+  };
+  std::vector<Frame> stack{{0}};
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back().idx;
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    FTBB_CHECK_MSG(n.in_use, "CodeSet: reachable node not in_use");
+    ++live_seen;
+    if (n.complete) {
+      ++complete_seen;
+      bytes_seen += code_bytes(n);
+      FTBB_CHECK_MSG(n.child[0] < 0 && n.child[1] < 0,
+                     "CodeSet: complete node must be a leaf");
+      continue;
+    }
+    const bool c0 = n.child[0] >= 0 &&
+                    nodes_[static_cast<std::size_t>(n.child[0])].complete;
+    const bool c1 = n.child[1] >= 0 &&
+                    nodes_[static_cast<std::size_t>(n.child[1])].complete;
+    FTBB_CHECK_MSG(!(c0 && c1), "CodeSet: uncontracted sibling pair");
+    for (int bit = 0; bit < 2; ++bit) {
+      const std::int32_t c = n.child[bit];
+      if (c < 0) continue;
+      const Node& ch = nodes_[static_cast<std::size_t>(c)];
+      FTBB_CHECK(ch.parent == idx);
+      FTBB_CHECK(ch.bit_in_parent == bit);
+      FTBB_CHECK(ch.depth == n.depth + 1);
+      stack.push_back({c});
+    }
+  }
+  FTBB_CHECK_MSG(complete_seen == complete_count_, "CodeSet: stale code_count");
+  FTBB_CHECK_MSG(bytes_seen == body_bytes_, "CodeSet: stale byte accounting");
+  FTBB_CHECK_MSG(live_seen == live_nodes_, "CodeSet: stale live node count");
+}
+
+std::string CodeSet::to_string() const {
+  std::string s = "{";
+  bool first = true;
+  for (const PathCode& c : export_codes()) {
+    if (!first) s += ", ";
+    first = false;
+    s += c.to_string();
+  }
+  s += "}";
+  return s;
+}
+
+}  // namespace ftbb::core

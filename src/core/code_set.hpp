@@ -1,0 +1,142 @@
+// Completion table with list contraction and complement (Section 5.3.2).
+//
+// A CodeSet stores the set of subproblems *known to be completed*, in
+// contracted form: whenever both children of a node are completed the two
+// sibling codes are replaced by the parent's code, recursively, and any code
+// covered by a completed ancestor is dropped. The contracted set is exactly
+// the "table of completed problems" each member maintains; work reports are
+// contracted the same way before being sent.
+//
+// Termination detection (Section 5.4) falls out of the representation: the
+// computation is finished precisely when the table contracts to the single
+// code of the root problem.
+//
+// Failure recovery (Section 5.3.2) uses the *complement*: the sibling of any
+// stored code — or of any proper prefix of one — that is not itself covered
+// identifies a subproblem that provably exists in the search tree (its
+// parent was expanded) and is not known to be completed. complement() enumerates
+// the maximal such regions.
+//
+// Implementation: a binary trie keyed by branching decisions. Completed
+// nodes are trie leaves (their subtrees are pruned on completion), so the
+// exported code list is the set of completed trie leaves. All codes inserted
+// into one CodeSet must originate from a single underlying search tree
+// (decomposition is deterministic per node), which the trie checks: the
+// branching variable learned for a node must match on every later insert.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/path_code.hpp"
+#include "support/bytes.hpp"
+
+namespace ftbb::core {
+
+class CodeSet {
+ public:
+  static constexpr std::uint32_t kNoVar = 0xffffffffu;
+
+  /// Outcome of an insert, with the work performed — the simulator charges
+  /// list-contraction time proportional to `nodes_walked + merges`.
+  struct InsertResult {
+    bool newly_covered = false;  // false when the code was already covered
+    std::uint32_t nodes_walked = 0;
+    std::uint32_t merges = 0;  // sibling-pair contractions triggered
+  };
+
+  CodeSet();
+
+  /// Records `code` as completed; contracts upward. Idempotent.
+  InsertResult insert(const PathCode& code);
+
+  /// Inserts every code of a report/table snapshot; returns summed stats and
+  /// whether anything changed.
+  InsertResult insert_all(const std::vector<PathCode>& codes);
+
+  /// True when `code` or one of its ancestors is recorded completed.
+  [[nodiscard]] bool covered(const PathCode& code) const;
+
+  /// The maximal completed code covering `code` (itself or its highest
+  /// completed ancestor), or nullopt when uncovered. Work reports use this
+  /// to ship the most contracted representative of each fresh completion.
+  [[nodiscard]] std::optional<PathCode> covering_code(const PathCode& code) const;
+
+  /// Termination predicate: the table contracted to the root code.
+  [[nodiscard]] bool root_complete() const;
+
+  /// Contracted list of completed codes, in deterministic DFS order
+  /// (left branch first). This is what a full-table gossip message carries.
+  [[nodiscard]] std::vector<PathCode> export_codes() const;
+
+  /// Maximal regions of the tree *not* covered by this table: for every
+  /// incomplete trie node, branches that were never reported under. Each
+  /// returned code is a real tree node (see file comment). The root-only
+  /// answer {()} is returned for an empty table. Returns {} iff the root is
+  /// complete.
+  [[nodiscard]] std::vector<PathCode> complement() const;
+
+  /// Number of codes in the contracted representation.
+  [[nodiscard]] std::size_t code_count() const { return complete_count_; }
+
+  [[nodiscard]] bool empty() const { return complete_count_ == 0; }
+
+  /// Exact wire size of export_codes() (varint count header + each code),
+  /// maintained incrementally; this is the storage-space unit of Table 1.
+  [[nodiscard]] std::size_t encoded_bytes() const {
+    return support::varint_size(complete_count_) + body_bytes_;
+  }
+
+  /// Trie footprint, for memory diagnostics.
+  [[nodiscard]] std::size_t trie_nodes() const { return live_nodes_; }
+
+  void clear();
+
+  /// Deep structural validation for tests: complete nodes are leaves, no two
+  /// complete siblings, incremental counters match a recount. Aborts on
+  /// violation.
+  void check_invariants() const;
+
+  /// Two tables are equivalent iff their contracted exports match.
+  friend bool operator==(const CodeSet& a, const CodeSet& b) {
+    return a.export_codes() == b.export_codes();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  struct Node {
+    std::uint32_t var = kNoVar;  // variable this tree node branches on
+    std::int32_t parent = -1;
+    std::int32_t child[2] = {-1, -1};
+    std::uint32_t depth = 0;
+    std::uint32_t body_bytes = 0;  // encoded bytes of the steps of this path
+    std::uint8_t bit_in_parent = 0;
+    bool complete = false;
+    bool in_use = false;
+  };
+
+  [[nodiscard]] std::size_t code_bytes(const Node& n) const {
+    return support::varint_size(n.depth) + n.body_bytes;
+  }
+
+  std::int32_t alloc_node();
+  void free_subtree(std::int32_t idx);      // releases idx and descendants
+  void drop_completed_below(std::int32_t idx);  // accounting for subsumed codes
+  void mark_complete(std::int32_t idx, InsertResult& res);
+
+  void export_dfs(std::int32_t idx, std::vector<Branch>& path,
+                  std::vector<PathCode>& out) const;
+  void complement_dfs(std::int32_t idx, std::vector<Branch>& path,
+                      std::vector<PathCode>& out) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_list_;
+  std::size_t complete_count_ = 0;
+  std::size_t body_bytes_ = 0;  // sum over completed leaves of code body+header bytes (see encoded_bytes)
+  std::size_t live_nodes_ = 0;
+};
+
+}  // namespace ftbb::core

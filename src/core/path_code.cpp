@@ -1,0 +1,57 @@
+#include "core/path_code.hpp"
+
+namespace ftbb::core {
+
+void PathCode::encode(support::ByteWriter& w) const {
+  w.varint(steps_.size());
+  for (const Branch& b : steps_) {
+    w.varint((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
+  }
+}
+
+PathCode PathCode::decode(support::ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  FTBB_CHECK_MSG(n <= (1u << 20), "PathCode: implausible depth");
+  std::vector<Branch> steps;
+  steps.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t packed = r.varint();
+    steps.push_back(Branch{static_cast<std::uint32_t>(packed >> 1),
+                           static_cast<std::uint8_t>(packed & 1)});
+  }
+  return PathCode(std::move(steps));
+}
+
+std::size_t PathCode::encoded_size() const {
+  std::size_t n = support::varint_size(steps_.size());
+  for (const Branch& b : steps_) {
+    n += support::varint_size((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
+  }
+  return n;
+}
+
+std::string PathCode::to_string() const {
+  if (steps_.empty()) return "()";
+  std::string s = "(";
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    if (i) s += ",";
+    s += "<x" + std::to_string(steps_[i].var) + "," + std::to_string(int(steps_[i].bit)) + ">";
+  }
+  s += ")";
+  return s;
+}
+
+std::size_t PathCode::hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (const Branch& b : steps_) {
+    mix((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
+  }
+  mix(steps_.size());
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ftbb::core

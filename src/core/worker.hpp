@@ -1,0 +1,350 @@
+// The decentralized, asynchronous, fault-tolerant B&B worker (Section 5).
+//
+// BnbWorker is the complete per-process algorithm: local pool + on-demand
+// load balancing, incumbent circulation, completion tracking with list
+// contraction, epidemic work reports, failure recovery by complementing the
+// completion table, and almost-implicit termination detection.
+//
+// The worker is a *reactive state machine*: it is driven exclusively through
+// on_start / on_message / on_timer and interacts with the world through an
+// IWorkerEnv. This keeps the protocol logic identical across substrates —
+// the discrete-event simulator (src/sim) hosts it in virtual time and the
+// thread-backed runtime (src/rt) hosts it in real time — and makes the
+// algorithm unit-testable with a scripted environment.
+//
+// Processing discipline (paper Section 6.2): one subproblem is expanded per
+// step; the environment delivers pending messages only at step boundaries.
+// Consequently a step's cost is charged atomically and "interrupting
+// redundant work" takes the form of dropping pool entries that a newly
+// received report proves completed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bnb/pool.hpp"
+#include "bnb/problem.hpp"
+#include "core/code_set.hpp"
+#include "core/messages.hpp"
+#include "core/path_code.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::core {
+
+/// Cost categories of Figure 3 / Table 1. The worker charges kBB,
+/// kContraction, kComm and kLoadBalance explicitly; waiting time is
+/// attributed by the environment to kLoadBalance or kIdle from the wait
+/// hint the worker publishes.
+enum class CostKind : std::uint8_t {
+  kBB = 0,
+  kContraction = 1,
+  kComm = 2,
+  kLoadBalance = 3,
+  kIdle = 4,
+};
+constexpr int kCostKinds = 5;
+
+[[nodiscard]] const char* to_string(CostKind kind);
+
+/// What the worker is waiting for while quiescent.
+enum class WaitHint : std::uint8_t {
+  kNone = 0,          // busy or runnable
+  kAwaitingWork = 1,  // work request outstanding -> gap counts as LB time
+  kIdle = 2,          // backoff / starved / waiting for reports
+  kHalted = 3,        // terminated
+};
+
+enum class TimerKind : std::uint8_t {
+  kStep = 0,            // run the next expansion / scheduling decision
+  kReportFlush = 1,     // stale fresh-completions list must be sent
+  kTableGossip = 2,     // periodic full-table anti-entropy push
+  kRequestTimeout = 3,  // work request went unanswered
+  kBackoff = 4,         // idle pause between failed work-acquisition rounds
+};
+constexpr int kTimerKinds = 5;
+
+/// How recovery picks among the complement's uncompleted regions
+/// (Section 5.3.2 discusses random choice vs. "using the location of the
+/// last problem completed locally").
+enum class RecoveryPolicy : std::uint8_t {
+  kRandom = 0,
+  kDeepest = 1,
+  kShallowest = 2,
+  kNearLastLocal = 3,
+};
+
+[[nodiscard]] const char* to_string(RecoveryPolicy policy);
+
+/// CPU-cost constants for protocol work, in seconds. Network latency is the
+/// environment's concern; these model the local handling the paper accounts
+/// as communication / contraction / load-balancing time.
+struct ProtocolCosts {
+  double send_fixed = 50e-6;        // per message sent
+  double send_per_byte = 2e-9;      // serialization
+  double recv_fixed = 50e-6;        // per message received
+  double recv_per_byte = 2e-9;      // deserialization
+  double contract_per_code = 10e-6;       // per code inserted into a table
+  double contract_per_node = 0.3e-6;      // per trie node walked
+  double lb_handle = 150e-6;        // per request/grant/deny handled
+  double lb_per_problem = 10e-6;    // per subproblem packed or unpacked
+};
+
+struct WorkerConfig {
+  bnb::SelectRule rule = bnb::SelectRule::kBestFirst;
+
+  // --- work reports (Section 5.3.2) ---
+  std::uint32_t report_batch = 8;        // send after c fresh completions
+  double report_flush_interval = 1.0;    // ...or when the list goes stale
+  std::uint32_t report_fanout = 2;       // m random recipients per report
+  double table_gossip_interval = 5.0;    // occasional full-table push
+  /// When true, each fresh completion is replaced by its maximal covering
+  /// code from the local table before sending (strictly better compression
+  /// than contracting the list alone); when false, reports are contracted
+  /// only against themselves — the paper's literal scheme.
+  bool compress_against_table = true;
+
+  // --- load balancing ---
+  double work_request_timeout = 0.05;    // seconds to wait for grant/deny
+  std::uint32_t attempts_before_recovery = 3;
+  /// When false (default), only request *timeouts* — the signature of a
+  /// crashed peer, a lost message, or a partition — count toward the
+  /// recovery threshold. Denies mean "alive but nothing to spare" and only
+  /// back off. When true, denies count too (the most eager reading of the
+  /// paper's "an attempt to get work ... fails"); E8 ablates this: eager
+  /// suspicion recovers faster after real failures but duplicates large
+  /// regions when work is merely scarce, e.g. during ramp-up.
+  bool count_denies_toward_recovery = false;
+  double idle_backoff = 0.02;            // pause after each failed attempt
+  std::uint32_t max_backoff_steps = 8;   // linear backoff growth cap
+  /// Recovery additionally requires a *stall*: no new completion knowledge,
+  /// no granted work for stall_recovery_factor * request timeout. While
+  /// information keeps arriving the system is alive and merely busy or
+  /// scarce (ramp-up, endgame), and complementing would duplicate large
+  /// regions for nothing. A genuine loss — crashed holder, dropped grant,
+  /// partition — starves the whole group of progress and trips the
+  /// detector. Long consecutive-deny streaks with a stall also escalate,
+  /// covering the all-alive-but-work-lost case where no timeout ever fires.
+  double stall_recovery_factor = 10.0;
+  std::uint32_t deny_streak_before_recovery = 8;
+  /// Extra patience while the completion table is still empty: with zero
+  /// knowledge the complement is the entire root problem, so a wrong
+  /// suspicion duplicates everything. Ramp-up on coarse problems is exactly
+  /// this state (no completion exists anywhere yet).
+  double empty_table_stall_multiplier = 25.0;
+  double initial_stagger = 0.01;         // randomized start offset, avoids a
+                                         // t=0 request storm
+  std::uint32_t min_pool_to_grant = 2;   // keep at least one problem
+  std::uint32_t grant_divisor = 2;       // give away size/divisor problems
+  std::uint32_t max_grant_problems = 64; // cap per grant message
+
+  // --- search ---
+  bool enable_elimination = true;        // l(v) >= U pruning
+
+  // --- adaptive parameter control (paper Section 7 future work) ---
+  /// When enabled, the worker tracks an exponential moving average of the
+  /// node-expansion costs it observes and *raises* its waiting parameters to
+  /// match the granularity: request timeout, idle backoff, and report flush
+  /// interval each become max(configured value, factor * EWMA cost). This is
+  /// the paper's proposed "flexible scheme for adapting parameters to
+  /// runtime informations, such as ... execution time per problem"; without
+  /// it, coarse-grained problems under fine-grained timeouts misread busy
+  /// peers as dead ones (see E7/E15).
+  bool adaptive_timeouts = false;
+  double adaptive_timeout_factor = 2.5;  // request timeout vs mean node cost
+  double adaptive_backoff_factor = 0.5;
+  double adaptive_flush_factor = 25.0;
+  double cost_ewma_alpha = 0.1;
+
+  // --- fault tolerance ---
+  RecoveryPolicy recovery = RecoveryPolicy::kNearLastLocal;
+
+  ProtocolCosts costs;
+};
+
+/// Per-worker measurements; times are virtual seconds in the simulator and
+/// wall seconds in the real-time runtime.
+struct WorkerStats {
+  double time[kCostKinds] = {0, 0, 0, 0, 0};
+
+  std::uint64_t expanded = 0;
+  std::uint64_t eliminated = 0;       // fathomed by bound
+  std::uint64_t dead_ends = 0;
+  std::uint64_t feasible_leaves = 0;
+  std::uint64_t completions = 0;      // codes passed to complete()
+  std::uint64_t covered_skips = 0;    // pool/grant entries dropped as already completed
+
+  std::uint64_t reports_sent = 0;
+  std::uint64_t report_codes_sent = 0;
+  std::uint64_t table_gossips_sent = 0;
+
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+
+  std::uint64_t work_requests_sent = 0;
+  std::uint64_t grants_received = 0;
+  std::uint64_t denies_received = 0;
+  std::uint64_t request_timeouts = 0;
+  std::uint64_t grants_given = 0;
+  std::uint64_t problems_given = 0;
+
+  std::uint64_t recoveries = 0;           // complement-pick events
+  std::uint64_t incumbent_updates = 0;
+
+  double halted_at = -1.0;  // local termination-detection instant
+
+  [[nodiscard]] double busy_total() const {
+    return time[0] + time[1] + time[2] + time[3];
+  }
+};
+
+/// Environment the worker runs in. Implementations: sim::SimCluster
+/// (virtual time), rt::Cluster (threads), tests::ScriptedEnv.
+class IWorkerEnv {
+ public:
+  virtual ~IWorkerEnv() = default;
+
+  /// The worker's current local time (advanced by charge()).
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// Asynchronously transmits `msg` to peer `to`. The environment charges
+  /// send-side CPU cost and models latency/loss.
+  virtual void send(NodeId to, Message msg) = 0;
+
+  /// Arms a one-shot timer `delay` seconds from now(); fires
+  /// on_timer(kind, gen). Re-arming a kind replaces nothing — stale
+  /// generations are filtered by the worker.
+  virtual void set_timer(TimerKind kind, double delay, std::uint64_t gen) = 0;
+
+  /// Accounts `seconds` of local work of the given kind; in the simulator
+  /// this advances the worker's virtual clock (making it busy).
+  virtual void charge(CostKind kind, double seconds) = 0;
+
+  /// Deterministic per-worker randomness.
+  virtual support::Rng& rng() = 0;
+
+  /// Current peer set (other members). May change under membership churn.
+  [[nodiscard]] virtual const std::vector<NodeId>& peers() const = 0;
+
+  /// Publishes what the worker is waiting for (gap-time attribution).
+  virtual void set_wait_hint(WaitHint hint) = 0;
+
+  /// Called once when the worker detects termination and halts.
+  virtual void notify_halted() = 0;
+
+  /// Observation hook for redundant-work accounting in harnesses.
+  virtual void note_expansion(const PathCode& code, double cost) {
+    (void)code;
+    (void)cost;
+  }
+
+  /// Observation hook: a completion was recorded locally (harnesses use it
+  /// to maintain the global union table for redundant-storage accounting).
+  virtual void note_completion(const PathCode& code) { (void)code; }
+};
+
+class BnbWorker {
+ public:
+  BnbWorker(NodeId id, const bnb::IProblemModel* model, WorkerConfig config,
+            IWorkerEnv* env);
+
+  /// `with_root` seeds this worker's pool with the root problem (exactly one
+  /// member of the computation starts with it).
+  void on_start(bool with_root);
+
+  void on_message(const Message& msg);
+
+  void on_timer(TimerKind kind, std::uint64_t gen);
+
+  // --- observers (tests, harnesses) ---
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] bool halted() const { return halted_; }
+  [[nodiscard]] double incumbent() const { return incumbent_; }
+  [[nodiscard]] const PathCode& best_code() const { return best_code_; }
+  [[nodiscard]] const CodeSet& table() const { return table_; }
+  [[nodiscard]] const bnb::ActivePool& pool() const { return pool_; }
+  [[nodiscard]] const WorkerStats& stats() const { return stats_; }
+  [[nodiscard]] WorkerStats& stats() { return stats_; }
+  [[nodiscard]] const WorkerConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t fresh_count() const { return fresh_.size(); }
+
+ private:
+  // -- scheduling --
+  void continue_work();
+  void schedule_step();
+  void do_step();
+
+  // -- search --
+  void expand(const bnb::Subproblem& p);
+  void complete(const PathCode& code);
+  void absorb_incumbent(double value);
+  void prune_pool_by_bound();
+  void prune_pool_covered();
+
+  // -- reports & termination --
+  void send_report();
+  void send_table_gossip();
+  void arm_flush_timer();
+  bool maybe_terminate();
+
+  // -- load balancing & recovery --
+  void seek_work();
+  void handle_work_request(const Message& msg);
+  void handle_work_grant(const Message& msg);
+  void recover();
+  [[nodiscard]] std::size_t pick_recovery_candidate(
+      const std::vector<PathCode>& candidates);
+
+  void add_subproblem(bnb::Subproblem p, bool from_grant);
+
+  NodeId id_;
+  const bnb::IProblemModel* model_;
+  WorkerConfig config_;
+  IWorkerEnv* env_;
+  WorkerStats stats_;
+
+  bnb::ActivePool pool_;
+  CodeSet table_;
+  std::vector<PathCode> fresh_;  // locally discovered, unreported completions
+
+  double incumbent_ = bnb::kInfinity;
+  PathCode best_code_;
+  bool have_feasible_ = false;
+
+  bool started_ = false;
+  bool halted_ = false;
+
+  // Load-balancing state.
+  bool request_outstanding_ = false;
+  std::uint64_t request_gen_ = 0;
+  std::uint32_t failed_attempts_ = 0;  // timeouts (and denies if configured)
+  std::uint32_t deny_streak_ = 0;      // consecutive denies, for backoff growth
+  bool backoff_armed_ = false;
+  std::uint64_t backoff_gen_ = 0;
+
+  void enter_backoff(std::uint32_t steps);
+
+  // Adaptive parameter state (see WorkerConfig::adaptive_timeouts).
+  double cost_ewma_ = 0.0;
+  void observe_cost(double cost);
+  [[nodiscard]] double effective_request_timeout() const;
+  [[nodiscard]] double effective_backoff() const;
+  [[nodiscard]] double effective_flush_interval() const;
+
+  // Stall detection (see WorkerConfig::stall_recovery_factor).
+  double last_progress_ = 0.0;
+  void note_progress() { last_progress_ = env_->now(); }
+  [[nodiscard]] bool stalled() const;
+
+  bool step_scheduled_ = false;
+  std::uint64_t step_gen_ = 0;
+  std::uint64_t flush_gen_ = 0;
+  bool flush_armed_ = false;
+  std::uint64_t gossip_gen_ = 0;
+
+  PathCode last_local_completion_;
+};
+
+}  // namespace ftbb::core

@@ -1,0 +1,370 @@
+#include "dib/dib.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "core/path_code.hpp"
+#include "sim/kernel.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::dib {
+
+namespace {
+
+using core::PathCode;
+
+/// Approximate wire size of DIB control messages (header + one code).
+std::size_t msg_bytes(const PathCode& code) { return 16 + code.encoded_size(); }
+
+struct Task {
+  bnb::Subproblem sub;
+  std::uint32_t job = 0;  // index into the owning machine's job list
+};
+
+struct Job {
+  PathCode code;
+  std::int32_t donor = -1;          // machine that donated it (-1: the root job)
+  std::uint64_t donation_id = 0;    // donor-side ledger key
+  std::uint64_t open_nodes = 0;     // nodes of this job still to process locally
+  std::uint64_t unacked = 0;        // donations out of this job awaiting ack
+  bool done = false;
+};
+
+struct Donation {
+  Task task;
+  std::uint32_t donee = 0;
+  std::uint32_t job = 0;  // local job the task belongs to
+  double sent_at = 0.0;
+};
+
+struct Machine;
+
+struct Sim {
+  const bnb::IProblemModel& model;
+  DibConfig cfg;
+  sim::Kernel kernel;
+  std::unique_ptr<sim::Network> net;
+  std::vector<std::unique_ptr<Machine>> machines;
+  double time_limit;
+
+  bool concluded = false;
+  double concluded_at = 0.0;
+  double best = bnb::kInfinity;
+  bool best_found = false;
+
+  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> expansions;
+  std::uint64_t total_expanded = 0;
+  std::uint64_t donations = 0;
+  std::uint64_t donation_redos = 0;
+
+  Sim(const bnb::IProblemModel& m, const DibConfig& c, double limit)
+      : model(m), cfg(c), time_limit(limit) {}
+};
+
+struct Machine {
+  Sim* sim;
+  std::uint32_t id;
+  support::Rng rng;
+  bool alive = true;
+  bool busy = false;
+  bool stopped = false;  // computation concluded
+
+  std::vector<Task> pool;
+  std::vector<Job> jobs;
+  std::unordered_map<std::uint64_t, Donation> ledger;
+  std::uint64_t next_donation_id = 1;
+  double incumbent = bnb::kInfinity;
+  bool request_outstanding = false;
+  std::uint64_t request_gen = 0;
+  std::uint64_t expanded = 0;
+
+  Machine(Sim* s, std::uint32_t i, std::uint64_t seed) : sim(s), id(i), rng(seed) {}
+
+  [[nodiscard]] bool running() const { return alive && !stopped; }
+
+  void absorb(double best) {
+    if (best < incumbent) {
+      incumbent = best;
+      if (sim->cfg.enable_elimination) prune_pool();
+    }
+  }
+
+  /// Eliminated pool entries leave their job's accounting immediately.
+  void prune_pool() {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < pool.size(); ++read) {
+      if (pool[read].sub.bound >= incumbent) {
+        node_finished(pool[read].job);
+      } else {
+        if (write != read) pool[write] = std::move(pool[read]);
+        ++write;
+      }
+    }
+    pool.resize(write);
+  }
+
+  /// Depth-first pop (deepest task; deterministic tie-break on code).
+  Task pop_task() {
+    std::size_t best_i = 0;
+    for (std::size_t i = 1; i < pool.size(); ++i) {
+      const auto& a = pool[i].sub;
+      const auto& b = pool[best_i].sub;
+      if (a.code.depth() > b.code.depth() ||
+          (a.code.depth() == b.code.depth() && a.code < b.code)) {
+        best_i = i;
+      }
+    }
+    Task t = std::move(pool[best_i]);
+    pool[best_i] = std::move(pool.back());
+    pool.pop_back();
+    return t;
+  }
+
+  void node_finished(std::uint32_t job_index) {
+    Job& job = jobs[job_index];
+    FTBB_CHECK(job.open_nodes > 0);
+    --job.open_nodes;
+    check_job(job_index);
+  }
+
+  void check_job(std::uint32_t job_index) {
+    Job& job = jobs[job_index];
+    if (job.done || job.open_nodes > 0 || job.unacked > 0) return;
+    job.done = true;
+    if (job.donor < 0) {
+      // The root job: the whole computation is finished (only machine 0 can
+      // reach this). Broadcast the conclusion.
+      sim->concluded = true;
+      sim->concluded_at = sim->kernel.now();
+      sim->best = incumbent;
+      sim->best_found = incumbent < bnb::kInfinity;
+      for (auto& m : sim->machines) {
+        if (m->id != id) {
+          sim->net->send(id, m->id, 16, sim->kernel.now(), [mp = m.get()] {
+            mp->stopped = true;
+          });
+        }
+      }
+      stopped = true;
+      return;
+    }
+    // Report completion to the machine the problem came from.
+    const auto donor = static_cast<std::uint32_t>(job.donor);
+    Machine* target = sim->machines[donor].get();
+    sim->net->send(id, donor, msg_bytes(job.code), sim->kernel.now(),
+                   [target, donation_id = job.donation_id, best = incumbent] {
+                     target->on_completion_report(donation_id, best);
+                   });
+  }
+
+  void on_completion_report(std::uint64_t donation_id, double best) {
+    if (!running()) return;
+    absorb(best);
+    const auto it = ledger.find(donation_id);
+    if (it == ledger.end()) return;  // already presumed failed and redone
+    const std::uint32_t job_index = it->second.job;
+    ledger.erase(it);
+    Job& job = jobs[job_index];
+    FTBB_CHECK(job.unacked > 0);
+    --job.unacked;
+    check_job(job_index);
+    schedule_step();
+  }
+
+  void schedule_step() {
+    if (!running() || busy || pool.empty()) {
+      if (running() && !busy && pool.empty()) seek_work();
+      return;
+    }
+    busy = true;
+    Task task = pop_task();
+    if (sim->cfg.enable_elimination && task.sub.bound >= incumbent) {
+      node_finished(task.job);
+      busy = false;
+      schedule_step();
+      return;
+    }
+    const bnb::NodeEval eval = sim->model.eval(task.sub.code);
+    ++expanded;
+    ++sim->total_expanded;
+    ++sim->expansions[task.sub.code];
+    sim->kernel.after(eval.cost, [this, task = std::move(task), eval] {
+      busy = false;
+      if (!running()) return;
+      apply_expansion(task, eval);
+      schedule_step();
+    });
+  }
+
+  void apply_expansion(const Task& task, const bnb::NodeEval& eval) {
+    if (eval.feasible_leaf) {
+      if (eval.value < incumbent) incumbent = eval.value;
+      node_finished(task.job);
+      return;
+    }
+    std::uint64_t pooled = 0;
+    for (const bnb::ChildOut& child : eval.children) {
+      if (child.infeasible) continue;
+      if (sim->cfg.enable_elimination && child.bound >= incumbent) continue;
+      pool.push_back(Task{
+          bnb::Subproblem{task.sub.code.child(child.var, child.bit != 0), child.bound},
+          task.job});
+      ++pooled;
+    }
+    Job& job = jobs[task.job];
+    job.open_nodes += pooled;
+    node_finished(task.job);
+  }
+
+  void seek_work() {
+    if (!running() || request_outstanding || !pool.empty()) return;
+    if (sim->machines.size() < 2) return;
+    std::uint32_t target = id;
+    while (target == id) {
+      target = static_cast<std::uint32_t>(rng.pick(sim->machines.size()));
+    }
+    request_outstanding = true;
+    const std::uint64_t gen = ++request_gen;
+    Machine* peer = sim->machines[target].get();
+    sim->net->send(id, target, 16, sim->kernel.now(),
+                   [peer, from = id, best = incumbent] {
+                     peer->on_work_request(from, best);
+                   });
+    sim->kernel.after(sim->cfg.work_request_timeout, [this, gen] {
+      if (!running() || !request_outstanding || gen != request_gen) return;
+      request_outstanding = false;
+      // Back off briefly; idle machines retry forever (DIB has no
+      // complement — only donors can regenerate lost work).
+      sim->kernel.after(sim->cfg.request_backoff, [this] { seek_work(); });
+    });
+  }
+
+  void on_work_request(std::uint32_t from, double best) {
+    if (!running()) return;
+    absorb(best);
+    Machine* requester = sim->machines[from].get();
+    if (pool.size() >= sim->cfg.min_pool_to_grant) {
+      // Donate the shallowest task (largest subtree).
+      std::size_t best_i = 0;
+      for (std::size_t i = 1; i < pool.size(); ++i) {
+        if (pool[i].sub.code.depth() < pool[best_i].sub.code.depth()) best_i = i;
+      }
+      Task task = std::move(pool[best_i]);
+      pool[best_i] = std::move(pool.back());
+      pool.pop_back();
+      const std::uint64_t donation_id = next_donation_id++;
+      Job& job = jobs[task.job];
+      FTBB_CHECK(job.open_nodes > 0);
+      --job.open_nodes;  // the node now lives in the ledger, not the pool
+      ++job.unacked;
+      ++sim->donations;
+      ledger.emplace(donation_id,
+                     Donation{task, from, task.job, sim->kernel.now()});
+      sim->net->send(id, from, msg_bytes(task.sub.code), sim->kernel.now(),
+                     [requester, sub = task.sub, donation_id, donor = id,
+                      best = incumbent] {
+                       requester->on_grant(sub, donor, donation_id, best);
+                     });
+    } else {
+      sim->net->send(id, from, 16, sim->kernel.now(),
+                     [requester, best = incumbent] { requester->on_deny(best); });
+    }
+  }
+
+  void on_grant(const bnb::Subproblem& sub, std::uint32_t donor,
+                std::uint64_t donation_id, double best) {
+    if (!running()) return;
+    absorb(best);
+    request_outstanding = false;
+    jobs.push_back(Job{sub.code, static_cast<std::int32_t>(donor), donation_id, 1,
+                       0, false});
+    pool.push_back(Task{sub, static_cast<std::uint32_t>(jobs.size() - 1)});
+    schedule_step();
+  }
+
+  void on_deny(double best) {
+    if (!running()) return;
+    absorb(best);
+    request_outstanding = false;
+    sim->kernel.after(sim->cfg.request_backoff, [this] { seek_work(); });
+  }
+
+  /// Periodic failure-recovery audit: donations silent for too long are
+  /// presumed lost and redone locally ("each machine can determine whether
+  /// the work for which it is responsible is still unsolved, and can redo
+  /// that work in the case of failure").
+  void audit() {
+    if (!running()) return;
+    const double now = sim->kernel.now();
+    std::vector<std::uint64_t> expired;
+    for (const auto& [donation_id, donation] : ledger) {
+      if (now - donation.sent_at > sim->cfg.donation_timeout) {
+        expired.push_back(donation_id);
+      }
+    }
+    for (const std::uint64_t donation_id : expired) {
+      Donation donation = ledger.at(donation_id);
+      ledger.erase(donation_id);
+      ++sim->donation_redos;
+      Job& job = jobs[donation.job];
+      FTBB_CHECK(job.unacked > 0);
+      --job.unacked;
+      ++job.open_nodes;
+      pool.push_back(donation.task);
+    }
+    if (!expired.empty()) schedule_step();
+    sim->kernel.after(sim->cfg.audit_interval, [this] { audit(); });
+  }
+};
+
+}  // namespace
+
+DibResult DibSim::run(const bnb::IProblemModel& model, std::uint32_t machines,
+                      const DibConfig& config, const sim::NetConfig& net,
+                      const std::vector<DibCrash>& crashes, double time_limit,
+                      std::uint64_t seed) {
+  FTBB_CHECK(machines >= 1);
+  Sim sim(model, config, time_limit);
+  support::Rng master(seed);
+  sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x646962));
+  for (std::uint32_t i = 0; i < machines; ++i) {
+    sim.machines.push_back(std::make_unique<Machine>(&sim, i, master.split(i).next()));
+  }
+  // Machine 0 holds the root of the responsibility hierarchy.
+  Machine& root = *sim.machines[0];
+  root.jobs.push_back(Job{PathCode::root(), -1, 0, 1, 0, false});
+  root.pool.push_back(
+      Task{bnb::Subproblem{PathCode::root(), model.root_bound()}, 0});
+  for (auto& m : sim.machines) {
+    sim.kernel.at(0.0, [mp = m.get()] {
+      mp->schedule_step();
+      mp->audit();
+    });
+  }
+  for (const DibCrash& crash : crashes) {
+    FTBB_CHECK(crash.machine < machines);
+    sim.kernel.at(crash.time, [&sim, crash] {
+      sim.machines[crash.machine]->alive = false;
+    });
+  }
+  const auto kr = sim.kernel.run(time_limit);
+
+  DibResult result;
+  result.completed = sim.concluded;
+  result.solution = sim.best;
+  result.solution_found = sim.best_found;
+  result.makespan = sim.concluded ? sim.concluded_at : std::min(sim.kernel.now(), time_limit);
+  result.hit_time_limit = kr.hit_time_limit;
+  result.total_expanded = sim.total_expanded;
+  result.unique_expanded = sim.expansions.size();
+  result.redundant_expansions = sim.total_expanded - result.unique_expanded;
+  result.donations = sim.donations;
+  result.donation_redos = sim.donation_redos;
+  result.net = sim.net->stats();
+  for (const auto& m : sim.machines) result.expanded_per_machine.push_back(m->expanded);
+  return result;
+}
+
+}  // namespace ftbb::dib

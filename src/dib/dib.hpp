@@ -1,0 +1,69 @@
+// DIB-style baseline: Distributed Implementation of Backtracking
+// (Finkel & Manber 1987), the only prior fully decentralized fault-tolerant
+// B&B the paper compares against (Sections 3 and 5.5).
+//
+// Mechanism reproduced here: work moves between machines as *donations*;
+// each machine remembers, for every problem it is responsible for, which
+// machine it gave it to ("each machine memorizes the problems for which it
+// is responsible, as well as the machines to which it sent problems"). The
+// completion of a problem is reported to the machine the problem came from.
+// A donor that concludes a donated problem is still unsolved (here: a
+// donation timeout — the failure-suspicion knob) redoes that work itself.
+//
+// The two structural weaknesses the paper points out are faithfully present:
+//   * the machine holding the root of the responsibility hierarchy must
+//     survive — if it fails, termination can never be concluded;
+//   * a failed machine loses not only its local unreported work but also the
+//     bookkeeping for problems it donated onward, so its donor must redo the
+//     *entire* job, including parts third machines already finished.
+//
+// Timing is modeled more coarsely than for the main algorithm (expansion
+// busy periods only); the DIB comparison in the paper is qualitative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnb/problem.hpp"
+#include "sim/network.hpp"
+
+namespace ftbb::dib {
+
+struct DibConfig {
+  double work_request_timeout = 0.05;
+  double request_backoff = 0.02;
+  double audit_interval = 0.5;    // how often donors re-check donations
+  double donation_timeout = 2.0;  // silence after which a donee is presumed dead
+  std::uint32_t min_pool_to_grant = 2;
+  bool enable_elimination = true;
+};
+
+struct DibCrash {
+  std::uint32_t machine = 0;
+  double time = 0.0;
+};
+
+struct DibResult {
+  bool completed = false;  // root machine concluded the computation
+  bool solution_found = false;
+  double solution = bnb::kInfinity;
+  double makespan = 0.0;  // time of the root machine's conclusion (or limit)
+  bool hit_time_limit = false;
+  std::uint64_t total_expanded = 0;
+  std::uint64_t unique_expanded = 0;
+  std::uint64_t redundant_expansions = 0;
+  std::uint64_t donations = 0;
+  std::uint64_t donation_redos = 0;  // audit decided to redo a donation
+  sim::Network::Stats net;
+  std::vector<std::uint64_t> expanded_per_machine;
+};
+
+class DibSim {
+ public:
+  static DibResult run(const bnb::IProblemModel& model, std::uint32_t machines,
+                       const DibConfig& config, const sim::NetConfig& net,
+                       const std::vector<DibCrash>& crashes, double time_limit,
+                       std::uint64_t seed);
+};
+
+}  // namespace ftbb::dib

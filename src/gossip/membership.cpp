@@ -1,0 +1,218 @@
+#include "gossip/membership.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::gossip {
+
+namespace {
+
+/// One simulated group member.
+struct Member {
+  MemberId id = 0;
+  bool is_server = false;
+  bool alive = false;   // joined and not crashed/left
+  std::uint64_t beat = 0;
+  MembershipView view;
+  support::Rng rng{0};
+};
+
+struct Sim {
+  const MembershipConfig& cfg;
+  sim::Kernel kernel;
+  std::unique_ptr<sim::Network> net;
+  std::vector<Member> members;
+  std::vector<MemberScript> scripts;
+  MembershipMetrics metrics;
+  double duration;
+
+  // Detection bookkeeping: crash time per member; set of (observer, victim)
+  // drops already counted.
+  std::unordered_map<MemberId, double> crash_time;
+  std::unordered_map<std::uint64_t, double> drop_seen;  // key: obs<<32|victim
+
+  // Join bookkeeping: join time, and per member the set of live members
+  // that have seen it.
+  std::unordered_map<MemberId, double> join_time;
+  std::unordered_map<MemberId, std::unordered_set<MemberId>> seen_by;
+  std::unordered_set<MemberId> join_converged;
+
+  Sim(const MembershipConfig& c, double dur) : cfg(c), duration(dur) {}
+
+  [[nodiscard]] std::vector<MemberId> live_ids() const {
+    std::vector<MemberId> out;
+    for (const Member& m : members) {
+      if (m.alive) out.push_back(m.id);
+    }
+    return out;
+  }
+
+  void note_view_refresh(Member& observer, double now) {
+    // Join-latency accounting: which live members know each joined member?
+    for (const MemberId known : observer.view.members()) {
+      if (join_converged.count(known)) continue;
+      auto it = join_time.find(known);
+      if (it == join_time.end()) continue;
+      seen_by[known].insert(observer.id);
+      // Converged when every currently-live member has the newcomer in view.
+      bool all = true;
+      for (const Member& m : members) {
+        if (m.alive && m.id != known && !seen_by[known].count(m.id)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        join_converged.insert(known);
+        metrics.join_latency.add(now - it->second);
+      }
+    }
+  }
+
+  void deliver_digest(MemberId to, std::vector<Heartbeat> digest) {
+    Member& m = members[to];
+    if (!m.alive) return;
+    const double now = kernel.now();
+    if (m.view.merge(digest, now) > 0) note_view_refresh(m, now);
+  }
+
+  void send_digest(Member& from, MemberId to) {
+    std::vector<Heartbeat> digest = from.view.digest();
+    support::ByteWriter w;
+    MembershipView::encode_digest(digest, w);
+    ++metrics.digests_sent;
+    metrics.digest_bytes += w.size();
+    net->send(from.id, to, w.size(), kernel.now(),
+              [this, to, digest = std::move(digest)]() mutable {
+                deliver_digest(to, std::move(digest));
+              });
+  }
+
+  void gossip_round(MemberId id) {
+    Member& m = members[id];
+    if (!m.alive) return;
+    const double now = kernel.now();
+    // Heartbeat self, prune the silent, pick gossip targets.
+    ++m.beat;
+    m.view.observe(m.id, m.beat, now);
+    for (const MemberId dropped : m.view.prune(now, cfg.fail_timeout)) {
+      // Classify the drop: detection (victim crashed) or false positive.
+      const auto crash = crash_time.find(dropped);
+      if (crash != crash_time.end()) {
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(m.id) << 32) | dropped;
+        if (!drop_seen.count(key)) {
+          drop_seen[key] = now;
+          metrics.detection_latency.add(now - crash->second);
+        }
+      } else if (members[dropped].alive) {
+        ++metrics.false_positives;
+      }
+    }
+    // Push the digest to `fanout` random known members (not self).
+    std::vector<MemberId> candidates;
+    for (const MemberId peer : m.view.members()) {
+      if (peer != m.id) candidates.push_back(peer);
+    }
+    if (!candidates.empty()) {
+      const std::size_t k =
+          std::min<std::size_t>(cfg.fanout, candidates.size());
+      for (const std::size_t pick :
+           m.rng.sample_without_replacement(candidates.size(), k)) {
+        send_digest(m, candidates[pick]);
+      }
+    }
+    kernel.after(cfg.gossip_interval * m.rng.uniform(0.9, 1.1),
+                 [this, id] { gossip_round(id); });
+  }
+
+  void join(MemberId id) {
+    Member& m = members[id];
+    m.alive = true;
+    const double now = kernel.now();
+    m.view.observe(m.id, ++m.beat, now);
+    join_time[id] = now;
+    if (!m.is_server) {
+      // Announce to every gossip server; "at least one of them is
+      // guaranteed to be active", so the announcement always lands.
+      for (std::uint32_t s = 0; s < cfg.servers && s < members.size(); ++s) {
+        if (s == id) continue;
+        m.view.observe(s, 0, now);  // servers are well-known addresses
+        send_digest(m, s);
+      }
+    }
+    gossip_round(id);
+  }
+
+  void sample_accuracy() {
+    const std::vector<MemberId> live = live_ids();
+    if (!live.empty()) {
+      for (const Member& m : members) {
+        if (!m.alive) continue;
+        const std::vector<MemberId> seen = m.view.members();
+        std::size_t inter = 0;
+        for (const MemberId s : seen) {
+          inter += std::binary_search(live.begin(), live.end(), s) ? 1 : 0;
+        }
+        const std::size_t uni = seen.size() + live.size() - inter;
+        metrics.accuracy.add(uni ? static_cast<double>(inter) / static_cast<double>(uni)
+                                 : 1.0);
+      }
+    }
+    if (kernel.now() + cfg.gossip_interval < duration) {
+      kernel.after(cfg.gossip_interval, [this] { sample_accuracy(); });
+    }
+  }
+};
+
+}  // namespace
+
+MembershipSim::Result MembershipSim::run(const std::vector<MemberScript>& scripts,
+                                         const MembershipConfig& config,
+                                         const sim::NetConfig& net_config,
+                                         double duration, std::uint64_t seed) {
+  FTBB_CHECK(!scripts.empty());
+  Sim sim(config, duration);
+  support::Rng master(seed);
+  sim.net = std::make_unique<sim::Network>(&sim.kernel, net_config,
+                                           master.split(0x676f7373));
+  sim.members.resize(scripts.size());
+  sim.scripts = scripts;
+  for (const MemberScript& script : scripts) {
+    FTBB_CHECK(script.id < sim.members.size());
+    Member& m = sim.members[script.id];
+    m.id = script.id;
+    m.is_server = script.id < config.servers;
+    m.rng = master.split(script.id);
+    sim.kernel.at(script.join_time, [&sim, id = script.id] { sim.join(id); });
+    if (script.crash_time.has_value()) {
+      sim.kernel.at(*script.crash_time, [&sim, id = script.id] {
+        sim.members[id].alive = false;
+        sim.crash_time[id] = sim.kernel.now();
+      });
+    }
+    if (script.leave_time.has_value()) {
+      sim.kernel.at(*script.leave_time, [&sim, id = script.id] {
+        sim.members[id].alive = false;
+        sim.crash_time[id] = sim.kernel.now();  // silence-based, same as crash
+      });
+    }
+  }
+  sim.kernel.after(config.gossip_interval, [&sim] { sim.sample_accuracy(); });
+  sim.kernel.run(duration);
+
+  Result result;
+  result.metrics = std::move(sim.metrics);
+  result.net = sim.net->stats();
+  result.end_time = std::min(duration, sim.kernel.now());
+  for (const Member& m : sim.members) {
+    if (m.alive) result.final_views.emplace_back(m.id, m.view.members());
+  }
+  return result;
+}
+
+}  // namespace ftbb::gossip

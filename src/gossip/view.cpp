@@ -1,0 +1,85 @@
+#include "gossip/view.hpp"
+
+namespace ftbb::gossip {
+
+bool MembershipView::observe(MemberId id, std::uint64_t beat, double now) {
+  const auto dead = dead_.find(id);
+  if (dead != dead_.end()) {
+    if (beat <= dead->second) return false;  // stale gossip cannot resurrect
+    dead_.erase(dead);
+  }
+  auto [it, inserted] = entries_.try_emplace(id, Entry{beat, now});
+  if (inserted) return true;
+  if (beat > it->second.beat) {
+    it->second.beat = beat;
+    it->second.last_refresh = now;
+    return true;
+  }
+  return false;
+}
+
+std::size_t MembershipView::merge(const std::vector<Heartbeat>& digest, double now) {
+  std::size_t refreshed = 0;
+  for (const Heartbeat& hb : digest) {
+    if (observe(hb.id, hb.beat, now)) ++refreshed;
+  }
+  return refreshed;
+}
+
+std::vector<MemberId> MembershipView::prune(double now, double timeout) {
+  std::vector<MemberId> dropped;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_refresh > timeout) {
+      dropped.push_back(it->first);
+      dead_[it->first] = it->second.beat;
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
+std::optional<std::uint64_t> MembershipView::dropped_beat(MemberId id) const {
+  const auto it = dead_.find(id);
+  if (it == dead_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MemberId> MembershipView::members() const {
+  std::vector<MemberId> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(id);
+  return out;
+}
+
+std::vector<Heartbeat> MembershipView::digest() const {
+  std::vector<Heartbeat> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) out.push_back(Heartbeat{id, entry.beat});
+  return out;
+}
+
+void MembershipView::encode_digest(const std::vector<Heartbeat>& digest,
+                                   support::ByteWriter& w) {
+  w.varint(digest.size());
+  for (const Heartbeat& hb : digest) {
+    w.varint(hb.id);
+    w.varint(hb.beat);
+  }
+}
+
+std::vector<Heartbeat> MembershipView::decode_digest(support::ByteReader& r) {
+  const std::uint64_t n = r.varint();
+  std::vector<Heartbeat> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Heartbeat hb;
+    hb.id = static_cast<MemberId>(r.varint());
+    hb.beat = r.varint();
+    out.push_back(hb);
+  }
+  return out;
+}
+
+}  // namespace ftbb::gossip

@@ -1,0 +1,87 @@
+// Membership views for the gossip-style membership protocol (Section 5.2).
+//
+// Each member maintains a view: the set of processes it believes are in the
+// group, with "specific information designed to log the members' activity by
+// keeping track of when it last heard of each (known) member, directly from
+// it or through the gossip system". Following the gossip failure-detection
+// service of van Renesse et al. (the paper's stated inspiration), activity
+// is tracked with heartbeat counters: an entry is refreshed only by a larger
+// heartbeat, and a member whose heartbeat has not increased within the
+// failure timeout is dropped from the view.
+//
+// Views merge commutatively and idempotently (max heartbeat wins), which is
+// what makes epidemic dissemination converge.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "support/bytes.hpp"
+
+namespace ftbb::gossip {
+
+using MemberId = std::uint32_t;
+
+/// One gossip digest row: member + its latest known heartbeat.
+struct Heartbeat {
+  MemberId id = 0;
+  std::uint64_t beat = 0;
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+class MembershipView {
+ public:
+  struct Entry {
+    std::uint64_t beat = 0;
+    double last_refresh = 0.0;  // local time the beat last increased
+  };
+
+  /// Applies one heartbeat observation at local time `now`. Returns true if
+  /// the entry was new or refreshed (larger heartbeat than known).
+  ///
+  /// Members dropped by prune() are remembered with their heartbeat at drop
+  /// time; observations that are not strictly newer are ignored, so stale
+  /// digests circulating in the group cannot resurrect a dead member
+  /// (van Renesse et al.'s rule). A genuinely alive member keeps
+  /// incrementing its heartbeat and recovers from a false drop on its own.
+  bool observe(MemberId id, std::uint64_t beat, double now);
+
+  /// Merges a digest (a peer's view snapshot) at local time `now`; returns
+  /// the number of entries that were new or refreshed.
+  std::size_t merge(const std::vector<Heartbeat>& digest, double now);
+
+  /// Drops every entry whose heartbeat has not increased within `timeout`
+  /// seconds before `now`; returns the ids dropped. The caller decides what
+  /// "failed" means (a dropped member reappears if a newer heartbeat
+  /// arrives later — gossip resurrects false positives automatically).
+  std::vector<MemberId> prune(double now, double timeout);
+
+  /// Forgets a member immediately (voluntary leave).
+  void erase(MemberId id) { entries_.erase(id); }
+
+  [[nodiscard]] bool contains(MemberId id) const { return entries_.count(id) != 0; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::map<MemberId, Entry>& entries() const { return entries_; }
+
+  /// Current members, ascending id (deterministic).
+  [[nodiscard]] std::vector<MemberId> members() const;
+
+  /// Snapshot digest for gossiping.
+  [[nodiscard]] std::vector<Heartbeat> digest() const;
+
+  static void encode_digest(const std::vector<Heartbeat>& digest,
+                            support::ByteWriter& w);
+  static std::vector<Heartbeat> decode_digest(support::ByteReader& r);
+
+  /// Heartbeat a dropped member was last seen with (for tests/inspection).
+  [[nodiscard]] std::optional<std::uint64_t> dropped_beat(MemberId id) const;
+
+ private:
+  std::map<MemberId, Entry> entries_;
+  std::map<MemberId, std::uint64_t> dead_;  // dropped members: beat at drop
+};
+
+}  // namespace ftbb::gossip

@@ -1,0 +1,357 @@
+#include "rt/runtime.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <variant>
+
+#include "core/messages.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TimerFire {
+  core::TimerKind kind;
+  std::uint64_t gen;
+};
+struct Crash {};
+struct Poison {};
+using Event = std::variant<core::Message, TimerFire, Crash, Poison>;
+
+/// Unbounded MPSC mailbox; one consumer (the worker thread).
+class Mailbox {
+ public:
+  void push(Event e) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(e));
+    }
+    cv_.notify_one();
+  }
+
+  Event pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    Event e = std::move(queue_.front());
+    queue_.pop_front();
+    return e;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Event> queue_;
+};
+
+class RtCluster;
+
+/// Time-ordered delivery service: messages (with latency), timers, and
+/// crash injections all flow through one background thread.
+class DeliveryService {
+ public:
+  explicit DeliveryService(RtCluster* cluster) : cluster_(cluster) {}
+
+  void start() { thread_ = std::thread([this] { loop(); }); }
+
+  void schedule(double at_wall, core::NodeId target, Event e) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push(Item{at_wall, next_seq_++, target, std::move(e)});
+    }
+    cv_.notify_one();
+  }
+
+  void stop() {
+    {
+      std::lock_guard lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  struct Item {
+    double at;
+    std::uint64_t seq;
+    core::NodeId target;
+    mutable Event event;  // moved out at dispatch; priority_queue top is const
+
+    bool operator>(const Item& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  void loop();
+
+  RtCluster* cluster_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+class WorkerHost;
+
+class RtCluster {
+ public:
+  RtCluster(const bnb::IProblemModel& model, const RtConfig& config);
+
+  RtResult run();
+
+  [[nodiscard]] double now_wall() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void deliver(core::NodeId target, Event e);
+  void worker_halted();
+  void worker_crashed();
+
+  const bnb::IProblemModel& model_;
+  RtConfig config_;
+  Clock::time_point start_;
+  DeliveryService delivery_;
+  std::vector<std::unique_ptr<WorkerHost>> hosts_;
+  std::vector<std::vector<core::NodeId>> peers_;
+
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::uint32_t live_count_ = 0;
+  std::uint32_t live_halted_ = 0;
+
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> lost_{0};
+};
+
+/// Per-worker thread + IWorkerEnv adapter.
+class WorkerHost final : public core::IWorkerEnv {
+ public:
+  WorkerHost(RtCluster* cluster, core::NodeId id, std::uint64_t seed)
+      : cluster_(cluster),
+        id_(id),
+        rng_(seed),
+        net_rng_(support::mix64(seed, 0x6e6574)),
+        worker_(id, &cluster->model_, cluster->config_.worker, this) {}
+
+  void start() {
+    thread_ = std::thread([this] { thread_main(); });
+  }
+  void join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Mailbox& mailbox() { return mailbox_; }
+  core::BnbWorker& worker() { return worker_; }
+  [[nodiscard]] bool crashed() const { return crashed_.load(); }
+
+  // ---- core::IWorkerEnv (called from this worker's thread only) ----
+
+  [[nodiscard]] double now() const override { return cluster_->now_wall(); }
+
+  void send(core::NodeId to, core::Message msg) override {
+    // Real wire crossing: encode, (maybe) lose, decode at the receiver.
+    support::ByteWriter w;
+    msg.encode(w);
+    const std::size_t bytes = w.size();
+    worker_.stats().msgs_sent++;
+    worker_.stats().bytes_sent += bytes;
+    if (cluster_->config_.net_loss_prob > 0.0 &&
+        net_rng_.chance(cluster_->config_.net_loss_prob)) {
+      cluster_->lost_.fetch_add(1);
+      return;
+    }
+    support::ByteReader r(w.data());
+    core::Message decoded = core::Message::decode(r);
+    const double delay = cluster_->config_.net_latency_fixed +
+                         cluster_->config_.net_latency_per_byte *
+                             static_cast<double>(bytes);
+    cluster_->delivery_.schedule(cluster_->now_wall() + delay, to,
+                                 Event{std::move(decoded)});
+  }
+
+  void set_timer(core::TimerKind kind, double delay, std::uint64_t gen) override {
+    cluster_->delivery_.schedule(cluster_->now_wall() + delay, id_,
+                                 Event{TimerFire{kind, gen}});
+  }
+
+  void charge(core::CostKind kind, double seconds) override {
+    if (seconds <= 0.0) return;
+    worker_.stats().time[static_cast<int>(kind)] += seconds;
+    if (kind == core::CostKind::kBB && cluster_->config_.time_scale > 0.0) {
+      // Emulate the computation (model costs are virtual seconds).
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          seconds * cluster_->config_.time_scale));
+    }
+  }
+
+  support::Rng& rng() override { return rng_; }
+
+  [[nodiscard]] const std::vector<core::NodeId>& peers() const override {
+    return cluster_->peers_[id_];
+  }
+
+  void set_wait_hint(core::WaitHint hint) override { (void)hint; }
+
+  void notify_halted() override { cluster_->worker_halted(); }
+
+ private:
+  void thread_main() {
+    worker_.on_start(id_ == 0);
+    while (true) {
+      Event e = mailbox_.pop();
+      if (std::holds_alternative<Poison>(e)) break;
+      if (std::holds_alternative<Crash>(e)) {
+        crashed_.store(true);
+        cluster_->worker_crashed();
+        break;
+      }
+      if (crashed_.load()) break;
+      if (std::holds_alternative<core::Message>(e)) {
+        core::Message& msg = std::get<core::Message>(e);
+        if (!worker_.halted()) {
+          worker_.stats().msgs_received++;
+          worker_.stats().bytes_received += msg.wire_size();
+          cluster_->delivered_.fetch_add(1);
+          worker_.on_message(msg);
+        }
+      } else {
+        const TimerFire& fire = std::get<TimerFire>(e);
+        worker_.on_timer(fire.kind, fire.gen);
+      }
+    }
+  }
+
+  RtCluster* cluster_;
+  core::NodeId id_;
+  support::Rng rng_;
+  support::Rng net_rng_;
+  core::BnbWorker worker_;
+  Mailbox mailbox_;
+  std::thread thread_;
+  std::atomic<bool> crashed_{false};
+};
+
+void DeliveryService::loop() {
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const double now = cluster_->now_wall();
+    const Item& top = queue_.top();
+    if (top.at <= now) {
+      const core::NodeId target = top.target;
+      Event e = std::move(top.event);
+      queue_.pop();
+      lock.unlock();
+      cluster_->deliver(target, std::move(e));
+      lock.lock();
+      continue;
+    }
+    cv_.wait_for(lock, std::chrono::duration<double>(top.at - now));
+  }
+}
+
+RtCluster::RtCluster(const bnb::IProblemModel& model, const RtConfig& config)
+    : model_(model), config_(config), delivery_(this) {
+  FTBB_CHECK(config_.workers >= 1);
+  support::Rng master(config_.seed);
+  peers_.resize(config_.workers);
+  for (core::NodeId id = 0; id < config_.workers; ++id) {
+    for (core::NodeId other = 0; other < config_.workers; ++other) {
+      if (other != id) peers_[id].push_back(other);
+    }
+    hosts_.push_back(std::make_unique<WorkerHost>(this, id, master.split(id).next()));
+  }
+  live_count_ = config_.workers;
+}
+
+void RtCluster::deliver(core::NodeId target, Event e) {
+  hosts_[target]->mailbox().push(std::move(e));
+}
+
+void RtCluster::worker_halted() {
+  {
+    std::lock_guard lock(done_mutex_);
+    ++live_halted_;
+  }
+  done_cv_.notify_one();
+}
+
+void RtCluster::worker_crashed() {
+  {
+    std::lock_guard lock(done_mutex_);
+    --live_count_;
+  }
+  done_cv_.notify_one();
+}
+
+RtResult RtCluster::run() {
+  start_ = Clock::now();
+  delivery_.start();
+  for (const auto& [node, when] : config_.crashes) {
+    FTBB_CHECK(node < config_.workers);
+    delivery_.schedule(when, node, Event{Crash{}});
+  }
+  for (auto& host : hosts_) host->start();
+
+  RtResult result;
+  {
+    std::unique_lock lock(done_mutex_);
+    result.timed_out = !done_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.wall_timeout),
+        [this] { return live_halted_ >= live_count_; });
+  }
+  result.wall_seconds = now_wall();
+  // Shut everything down: poison pills unblock worker threads.
+  for (core::NodeId id = 0; id < config_.workers; ++id) {
+    hosts_[id]->mailbox().push(Event{Poison{}});
+  }
+  for (auto& host : hosts_) host->join();
+  delivery_.stop();
+
+  std::uint32_t live = 0;
+  std::uint32_t halted = 0;
+  for (auto& host : hosts_) {
+    result.workers.push_back(host->worker().stats());
+    result.crashed.push_back(host->crashed());
+    if (!host->crashed()) {
+      ++live;
+      if (host->worker().halted()) {
+        ++halted;
+        if (host->worker().incumbent() < result.solution) {
+          result.solution = host->worker().incumbent();
+          result.solution_found = true;
+        }
+      }
+    }
+  }
+  result.all_live_halted = live > 0 && live == halted;
+  result.messages_delivered = delivered_.load();
+  result.messages_lost = lost_.load();
+  return result;
+}
+
+}  // namespace
+
+RtResult Cluster::run(const bnb::IProblemModel& model, const RtConfig& config) {
+  RtCluster cluster(model, config);
+  return cluster.run();
+}
+
+}  // namespace ftbb::rt

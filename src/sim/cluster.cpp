@@ -1,0 +1,395 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <variant>
+
+#include "support/check.hpp"
+
+namespace ftbb::sim {
+
+namespace {
+
+trace::Activity to_activity(core::CostKind kind) {
+  switch (kind) {
+    case core::CostKind::kBB:
+      return trace::Activity::kBB;
+    case core::CostKind::kContraction:
+      return trace::Activity::kContraction;
+    case core::CostKind::kComm:
+      return trace::Activity::kComm;
+    case core::CostKind::kLoadBalance:
+      return trace::Activity::kLB;
+    case core::CostKind::kIdle:
+      return trace::Activity::kIdle;
+  }
+  return trace::Activity::kIdle;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WorkerHost: the per-worker IWorkerEnv adapter
+// ---------------------------------------------------------------------------
+
+class SimCluster::WorkerHost final : public core::IWorkerEnv {
+ public:
+  WorkerHost(SimCluster* cluster, core::NodeId id, std::uint64_t seed)
+      : cluster_(cluster),
+        id_(id),
+        rng_(seed),
+        worker_(id, &cluster->model_, cluster->config_.worker, this) {}
+
+  core::BnbWorker& worker() { return worker_; }
+  [[nodiscard]] const core::BnbWorker& worker() const { return worker_; }
+  [[nodiscard]] bool alive() const { return alive_; }
+  [[nodiscard]] double crash_time() const { return crash_time_; }
+
+  /// One-shot removal from the set of workers that must halt for the run to
+  /// be considered finished (crash, or a join that can never happen).
+  void leave_live_set() {
+    if (!counts_toward_live_) return;
+    counts_toward_live_ = false;
+    --cluster_->live_count_;
+  }
+
+  void start(bool with_root) {
+    started_ = true;
+    // Late joiners begin their local clock at the join instant; the time
+    // before joining belongs to no activity category.
+    busy_until_ = std::max(busy_until_, cluster_->kernel_.now());
+    worker_.on_start(with_root);
+  }
+
+  [[nodiscard]] bool started() const { return started_; }
+
+  void kill(double t) {
+    if (!alive_) return;
+    alive_ = false;
+    crash_time_ = t;
+    pending_.clear();
+  }
+
+  /// Entry point for message arrivals from the network.
+  void accept(core::Message msg) {
+    if (!started_ || !alive_ || worker_.halted()) return;  // crash-stop / terminated
+    pending_.emplace_back(std::move(msg));
+    pump();
+  }
+
+  // ---- core::IWorkerEnv ----
+
+  [[nodiscard]] double now() const override { return busy_until_; }
+
+  void send(core::NodeId to, core::Message msg) override {
+    const std::size_t bytes = msg.wire_size();
+    auto& stats = worker_.stats();
+    ++stats.msgs_sent;
+    stats.bytes_sent += bytes;
+    charge(core::CostKind::kComm,
+           cluster_->config_.worker.costs.send_fixed +
+               cluster_->config_.worker.costs.send_per_byte * static_cast<double>(bytes));
+    WorkerHost* dest = cluster_->hosts_[to].get();
+    cluster_->network_->send(
+        id_, to, bytes, busy_until_,
+        [dest, msg = std::move(msg)]() mutable { dest->accept(std::move(msg)); });
+  }
+
+  void set_timer(core::TimerKind kind, double delay, std::uint64_t gen) override {
+    FTBB_CHECK(delay >= 0.0);
+    cluster_->kernel_.at(busy_until_ + delay, [this, kind, gen]() {
+      if (!alive_ || worker_.halted()) return;
+      pending_.emplace_back(TimerFire{kind, gen});
+      pump();
+    });
+  }
+
+  void charge(core::CostKind kind, double seconds) override {
+    if (seconds <= 0.0) return;
+    worker_.stats().time[static_cast<int>(kind)] += seconds;
+    if (cluster_->config_.record_trace) {
+      cluster_->timeline_.add(id_, busy_until_, busy_until_ + seconds, to_activity(kind));
+    }
+    busy_until_ += seconds;
+  }
+
+  support::Rng& rng() override { return rng_; }
+
+  [[nodiscard]] const std::vector<core::NodeId>& peers() const override {
+    // Peer set = members that have joined so far, minus self. Rebuilt only
+    // when the membership version changes; crashed members stay listed
+    // (their failure is not detectable, Section 4).
+    if (peers_version_ != cluster_->membership_version_) {
+      peers_version_ = cluster_->membership_version_;
+      peers_cache_.clear();
+      for (const core::NodeId id : cluster_->joined_) {
+        if (id != id_) peers_cache_.push_back(id);
+      }
+    }
+    return peers_cache_;
+  }
+
+  void set_wait_hint(core::WaitHint hint) override { wait_hint_ = hint; }
+
+  void notify_halted() override {
+    ++cluster_->live_halted_;
+    pending_.clear();
+  }
+
+  void note_expansion(const core::PathCode& code, double cost) override {
+    ++cluster_->total_expansions_;
+    const auto [it, inserted] = cluster_->expansions_.try_emplace(code, 0u);
+    if (!inserted || it->second > 0) cluster_->redundant_cost_ += cost;
+    ++it->second;
+    // note: redundant accounting counts every expansion after the first
+  }
+
+  void note_completion(const core::PathCode& code) override {
+    cluster_->union_table_.insert(code);
+  }
+
+  /// Unaccounted tail time for workers that never halted (hit a limit).
+  void finalize(double end_time) {
+    if (alive_ && !worker_.halted() && end_time > busy_until_) {
+      attribute_gap(busy_until_, end_time);
+    }
+  }
+
+ private:
+  struct TimerFire {
+    core::TimerKind kind;
+    std::uint64_t gen;
+  };
+  using Pending = std::variant<core::Message, TimerFire>;
+
+  void attribute_gap(double from, double to) {
+    const double dur = to - from;
+    if (dur <= 0.0) return;
+    const core::CostKind kind = (wait_hint_ == core::WaitHint::kAwaitingWork)
+                                    ? core::CostKind::kLoadBalance
+                                    : core::CostKind::kIdle;
+    worker_.stats().time[static_cast<int>(kind)] += dur;
+    if (cluster_->config_.record_trace) {
+      cluster_->timeline_.add(id_, from, to,
+                              kind == core::CostKind::kLoadBalance
+                                  ? trace::Activity::kLB
+                                  : trace::Activity::kIdle);
+    }
+  }
+
+  /// Drains pending events whose effective time has come. If a handler
+  /// makes the worker busy, the remainder waits for a wake at busy end.
+  void pump() {
+    const double t = cluster_->kernel_.now();
+    if (!alive_ || worker_.halted()) {
+      pending_.clear();
+      return;
+    }
+    if (t < busy_until_) {
+      schedule_wake();
+      return;
+    }
+    while (!pending_.empty()) {
+      if (busy_until_ > t) {
+        schedule_wake();
+        return;
+      }
+      Pending e = std::move(pending_.front());
+      pending_.pop_front();
+      if (busy_until_ < t) {
+        attribute_gap(busy_until_, t);
+        busy_until_ = t;
+      }
+      if (std::holds_alternative<core::Message>(e)) {
+        core::Message& msg = std::get<core::Message>(e);
+        auto& stats = worker_.stats();
+        ++stats.msgs_received;
+        stats.bytes_received += msg.wire_size();
+        charge(core::CostKind::kComm,
+               cluster_->config_.worker.costs.recv_fixed +
+                   cluster_->config_.worker.costs.recv_per_byte *
+                       static_cast<double>(msg.wire_size()));
+        worker_.on_message(msg);
+      } else {
+        const TimerFire& fire = std::get<TimerFire>(e);
+        worker_.on_timer(fire.kind, fire.gen);
+      }
+      if (!alive_ || worker_.halted()) {
+        pending_.clear();
+        return;
+      }
+    }
+  }
+
+  void schedule_wake() {
+    const std::uint64_t gen = ++wake_gen_;
+    cluster_->kernel_.at(busy_until_, [this, gen]() {
+      if (gen != wake_gen_) return;  // superseded by a later busy extension
+      pump();
+    });
+  }
+
+  SimCluster* cluster_;
+  core::NodeId id_;
+  support::Rng rng_;
+  core::BnbWorker worker_;
+
+  bool alive_ = true;
+  bool started_ = false;
+  bool counts_toward_live_ = true;
+  mutable std::vector<core::NodeId> peers_cache_;
+  mutable std::uint64_t peers_version_ = ~0ULL;
+  double crash_time_ = -1.0;
+  double busy_until_ = 0.0;
+  core::WaitHint wait_hint_ = core::WaitHint::kIdle;
+  std::deque<Pending> pending_;
+  std::uint64_t wake_gen_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// SimCluster
+// ---------------------------------------------------------------------------
+
+SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& config)
+    : model_(model), config_(config) {
+  FTBB_CHECK(config_.workers >= 1);
+  FTBB_CHECK(config_.root_holder < config_.workers);
+  support::Rng master(config_.seed);
+  network_ = std::make_unique<Network>(&kernel_, config_.net, master.split(0x6e657477));
+  for (const Partition& p : config_.partitions) network_->add_partition(p);
+  FTBB_CHECK_MSG(config_.join_times.empty() ||
+                     config_.join_times.size() == config_.workers,
+                 "join_times must be empty or one entry per worker");
+  FTBB_CHECK_MSG(config_.join_times.empty() ||
+                     config_.join_times[config_.root_holder] == 0.0,
+                 "the root holder must join at time 0");
+  for (core::NodeId id = 0; id < config_.workers; ++id) {
+    hosts_.push_back(std::make_unique<WorkerHost>(this, id, master.split(id).next()));
+  }
+  live_count_ = config_.workers;
+}
+
+SimCluster::~SimCluster() = default;
+
+bool SimCluster::finished() const { return live_halted_ >= live_count_; }
+
+void SimCluster::join(core::NodeId id) {
+  WorkerHost* host = hosts_[id].get();
+  if (!host->alive()) return;  // crashed before joining; already uncounted
+  joined_.push_back(id);
+  ++membership_version_;
+  host->start(id == config_.root_holder);
+}
+
+void SimCluster::start() {
+  // Crash injections. Crashing reduces the live population that must halt
+  // for the run to be considered finished.
+  for (const CrashEvent& crash : config_.crashes) {
+    FTBB_CHECK(crash.node < config_.workers);
+    kernel_.at(crash.time, [this, crash]() {
+      WorkerHost* host = hosts_[crash.node].get();
+      if (!host->alive() || host->worker().halted()) return;
+      host->kill(kernel_.now());
+      host->leave_live_set();
+    });
+  }
+  for (core::NodeId id = 0; id < config_.workers; ++id) {
+    const double when =
+        config_.join_times.empty() ? 0.0 : config_.join_times[id];
+    if (when >= config_.time_limit) {
+      // This member can never participate; do not hold the run open for it
+      // (and leave no stray far-future event in the queue).
+      hosts_[id]->leave_live_set();
+      continue;
+    }
+    kernel_.at(when, [this, id]() { join(id); });
+  }
+  if (config_.storage_sample_interval > 0.0) {
+    kernel_.after(config_.storage_sample_interval, [this]() { sample_storage(); });
+  }
+}
+
+void SimCluster::sample_storage() {
+  std::size_t total = 0;
+  for (const auto& host : hosts_) {
+    if (!host->alive()) continue;
+    total += host->worker().table().encoded_bytes();
+  }
+  if (total > peak_total_bytes_) {
+    peak_total_bytes_ = total;
+    peak_unique_bytes_ = union_table_.encoded_bytes();
+  }
+  if (!finished()) {
+    kernel_.after(config_.storage_sample_interval, [this]() { sample_storage(); });
+  }
+}
+
+ClusterResult SimCluster::run(const bnb::IProblemModel& model,
+                              const ClusterConfig& config) {
+  SimCluster cluster(model, config);
+  cluster.start();
+  const Kernel::RunResult kr =
+      cluster.kernel_.run(config.time_limit, config.event_limit);
+  ClusterResult result = cluster.collect();
+  result.hit_time_limit = kr.hit_time_limit;
+  result.hit_event_limit = kr.hit_event_limit;
+  return result;
+}
+
+ClusterResult SimCluster::collect() {
+  ClusterResult res;
+  const double end_time = std::min(kernel_.now(), config_.time_limit);
+  res.first_detection = bnb::kInfinity;
+  std::uint32_t live_halted = 0;
+  std::uint32_t live_total = 0;
+  for (auto& host : hosts_) {
+    host->finalize(end_time);
+    const core::BnbWorker& w = host->worker();
+    res.workers.push_back(w.stats());
+    res.crashed.push_back(!host->alive());
+    res.incumbents.push_back(w.incumbent());
+    if (host->alive()) {
+      ++live_total;
+      if (w.halted()) {
+        ++live_halted;
+        res.makespan = std::max(res.makespan, w.stats().halted_at);
+        res.first_detection = std::min(res.first_detection, w.stats().halted_at);
+        if (w.incumbent() < res.solution) {
+          res.solution = w.incumbent();
+          res.solution_found = true;
+        }
+      }
+      res.final_table_bytes_total += w.table().encoded_bytes();
+    }
+    for (int k = 0; k < core::kCostKinds; ++k) {
+      res.total_time[k] += w.stats().time[k];
+    }
+    res.total_expanded += w.stats().expanded;
+    res.total_completions += w.stats().completions;
+    res.total_report_codes += w.stats().report_codes_sent;
+  }
+  res.all_live_halted = live_total > 0 && live_halted == live_total;
+  if (!res.all_live_halted) res.makespan = end_time;
+  res.unique_expanded = expansions_.size();
+  res.redundant_expansions = total_expansions_ - res.unique_expanded;
+  res.redundant_cost = redundant_cost_;
+  res.peak_table_bytes_total = peak_total_bytes_;
+  res.peak_table_bytes_unique = peak_unique_bytes_;
+  res.net = network_->stats();
+  res.timeline = std::move(timeline_);
+  if (config_.record_trace) {
+    // Close the chart with terminal states.
+    for (core::NodeId id = 0; id < config_.workers; ++id) {
+      const WorkerHost& host = *hosts_[id];
+      if (!host.alive()) {
+        res.timeline.add(id, host.crash_time(), end_time, trace::Activity::kDead);
+      } else if (host.worker().halted()) {
+        res.timeline.add(id, host.worker().stats().halted_at, end_time,
+                         trace::Activity::kDone);
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace ftbb::sim

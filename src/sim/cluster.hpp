@@ -1,0 +1,151 @@
+// SimCluster: hosts the decentralized B&B workers in virtual time.
+//
+// This is the experiment harness of Section 6. Each worker runs behind a
+// WorkerHost adapter that implements core::IWorkerEnv:
+//
+//   * charge() advances the worker's private busy clock — while busy, all
+//     deliveries and timer firings queue in an inbox and are handled when
+//     the busy period ends, reproducing the paper's discipline that a
+//     process "checks to see whether any messages are pending" only after
+//     finishing the current subproblem;
+//   * gaps between busy periods are attributed to load-balancing wait or
+//     idle time from the worker's wait hint, yielding Figure 3's five-way
+//     time breakdown;
+//   * crashes are injected at absolute times (crash-stop: the worker's
+//     pool, table, and unsent reports vanish; in-flight messages to it are
+//     dropped on arrival).
+//
+// The cluster additionally measures what the paper measures: per-category
+// times, message counts and bytes, completion-table storage (total and
+// redundant, Table 1), redundant expansions, and — optionally — a
+// Jumpshot-style activity timeline (Figures 5 and 6).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "bnb/problem.hpp"
+#include "core/code_set.hpp"
+#include "core/worker.hpp"
+#include "sim/kernel.hpp"
+#include "sim/network.hpp"
+#include "trace/timeline.hpp"
+
+namespace ftbb::sim {
+
+struct CrashEvent {
+  core::NodeId node = 0;
+  double time = 0.0;
+};
+
+struct ClusterConfig {
+  std::uint32_t workers = 4;
+  core::WorkerConfig worker;
+  NetConfig net;
+  std::uint64_t seed = 1;
+  double time_limit = 1e9;               // virtual seconds
+  std::uint64_t event_limit = 200'000'000ULL;
+  std::vector<CrashEvent> crashes;
+  std::vector<Partition> partitions;
+  bool record_trace = false;
+  double storage_sample_interval = 0.25; // virtual seconds between samples
+  core::NodeId root_holder = 0;          // the one member seeded with the root
+  /// Join time per worker (empty: everyone joins at t=0). Models the
+  /// dynamically available resource pool of Section 4: late joiners enter
+  /// the membership and acquire work through the normal load-balancing
+  /// path; peer sets grow as members join (crashes do NOT shrink them —
+  /// failures are not detectable, Section 4). The root holder must join
+  /// at time 0.
+  std::vector<double> join_times;
+};
+
+struct ClusterResult {
+  // -- outcome --
+  bool all_live_halted = false;
+  bool hit_time_limit = false;
+  bool hit_event_limit = false;
+  double makespan = 0.0;         // halt instant of the last live worker
+  double first_detection = 0.0;  // earliest termination detection
+  double solution = bnb::kInfinity;
+  bool solution_found = false;
+
+  // -- per worker --
+  std::vector<core::WorkerStats> workers;
+  std::vector<bool> crashed;
+  /// Final incumbent of each worker (+inf if none). The correctness theorem
+  /// says every live worker that detected termination holds exactly the
+  /// global optimum here, not merely the best of them.
+  std::vector<double> incumbents;
+
+  // -- aggregates over live + crashed workers --
+  double total_time[core::kCostKinds] = {0, 0, 0, 0, 0};
+  std::uint64_t total_expanded = 0;
+  std::uint64_t unique_expanded = 0;
+  std::uint64_t redundant_expansions = 0;  // total - unique
+  double redundant_cost = 0.0;             // virtual seconds spent re-expanding
+  std::uint64_t total_completions = 0;
+  std::uint64_t total_report_codes = 0;    // compression numerator
+
+  // -- storage (Table 1) --
+  std::size_t peak_table_bytes_total = 0;   // sum of all live tables at peak
+  std::size_t peak_table_bytes_unique = 0;  // union-table bytes at that instant
+  std::size_t final_table_bytes_total = 0;
+
+  // -- network --
+  Network::Stats net;
+
+  trace::Timeline timeline;  // populated when record_trace
+
+  [[nodiscard]] double time_of(core::CostKind kind) const {
+    return total_time[static_cast<int>(kind)];
+  }
+  /// Sum of the four busy categories plus idle, across workers.
+  [[nodiscard]] double time_all() const {
+    double t = 0.0;
+    for (const double v : total_time) t += v;
+    return t;
+  }
+};
+
+class SimCluster {
+ public:
+  /// Builds the cluster, runs it to quiescence (or a limit), and reports.
+  static ClusterResult run(const bnb::IProblemModel& model, const ClusterConfig& config);
+
+ private:
+  class WorkerHost;
+  friend class WorkerHost;
+
+  SimCluster(const bnb::IProblemModel& model, const ClusterConfig& config);
+  ~SimCluster();
+
+  void start();
+  void join(core::NodeId id);
+  void sample_storage();
+  [[nodiscard]] bool finished() const;
+  ClusterResult collect();
+
+  const bnb::IProblemModel& model_;
+  ClusterConfig config_;
+  Kernel kernel_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<WorkerHost>> hosts_;
+  std::vector<core::NodeId> joined_;   // members that have joined so far
+  std::uint64_t membership_version_ = 0;
+
+  // Cross-worker accounting.
+  std::unordered_map<core::PathCode, std::uint32_t, core::PathCodeHash> expansions_;
+  std::uint64_t total_expansions_ = 0;
+  double redundant_cost_ = 0.0;
+  core::CodeSet union_table_;  // every completion ever recorded, for the
+                               // "redundant storage" measurement
+  std::size_t peak_total_bytes_ = 0;
+  std::size_t peak_unique_bytes_ = 0;
+
+  trace::Timeline timeline_;
+  std::uint32_t live_halted_ = 0;
+  std::uint32_t live_count_ = 0;
+};
+
+}  // namespace ftbb::sim

@@ -1,0 +1,88 @@
+// Discrete-event simulation kernel — the Parsec substitute (Section 6.2).
+//
+// Parsec models processes as objects exchanging time-stamped messages; the
+// kernel here provides the same primitive: schedule a callback at a virtual
+// time, dispatch callbacks in (time, insertion-sequence) order. The
+// sequence tie-break makes runs bit-reproducible for equal timestamps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ftbb::sim {
+
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now, clock is monotone).
+  void at(double t, Callback fn) {
+    FTBB_CHECK_MSG(t >= now_, "Kernel::at: scheduling into the past");
+    queue_.push(Event{t, next_seq_++, std::move(fn)});
+  }
+
+  /// Schedules `fn` `delay` seconds from now.
+  void after(double delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  struct RunResult {
+    std::uint64_t events = 0;
+    bool drained = false;       // queue emptied
+    bool hit_time_limit = false;
+    bool hit_event_limit = false;
+  };
+
+  /// Dispatches events until the queue drains or a limit is hit. The event
+  /// limit is a livelock backstop for tests.
+  RunResult run(double time_limit = std::numeric_limits<double>::infinity(),
+                std::uint64_t event_limit = 500'000'000ULL) {
+    RunResult res;
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (top.t > time_limit) {
+        res.hit_time_limit = true;
+        return res;
+      }
+      if (res.events >= event_limit) {
+        res.hit_event_limit = true;
+        return res;
+      }
+      // std::priority_queue::top is const; the callback must be moved out
+      // before pop. const_cast is confined to this one extraction point.
+      Callback fn = std::move(const_cast<Event&>(top).fn);
+      now_ = top.t;
+      queue_.pop();
+      ++res.events;
+      fn();
+    }
+    res.drained = true;
+    return res;
+  }
+
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    Callback fn;
+
+    bool operator>(const Event& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace ftbb::sim

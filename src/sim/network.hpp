@@ -1,0 +1,102 @@
+// Network model (paper Sections 4 and 6.2).
+//
+// Message latency follows the paper's linear cost model,
+//     latency = latency_fixed + latency_per_byte * L      (1.5 + 0.005L ms),
+// optionally with multiplicative jitter. The model implements the paper's
+// minimal assumptions: messages can be lost (i.i.d. probability) and links
+// can be partitioned for a time window; messages are never duplicated,
+// corrupted, or spontaneously created, and delivery time is unbounded only
+// through loss (a lost message never arrives).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::sim {
+
+struct NetConfig {
+  double latency_fixed = 1.5e-3;    // seconds (paper: 1.5 ms)
+  double latency_per_byte = 5e-6;   // seconds/byte (paper: 0.005 ms/B)
+  double jitter_frac = 0.0;         // latency *= U(1-j, 1+j)
+  double loss_prob = 0.0;           // i.i.d. message loss
+};
+
+/// A temporary partition: during [t0, t1) only endpoints in the same group
+/// can communicate. Messages crossing groups are dropped (the harshest
+/// reading of "temporary network partitions").
+struct Partition {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  std::vector<int> group_of;  // group id per node
+};
+
+class Network {
+ public:
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_lost = 0;        // random loss
+    std::uint64_t messages_partitioned = 0; // dropped at a partition
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+
+  Network(Kernel* kernel, NetConfig config, support::Rng rng)
+      : kernel_(kernel), config_(config), rng_(rng) {}
+
+  void add_partition(Partition p) { partitions_.push_back(std::move(p)); }
+
+  /// Transmits `bytes` departing at `departure` (>= kernel time; senders may
+  /// be in the middle of a charged busy period); `deliver` runs at arrival
+  /// unless the message is lost. Returns false when dropped.
+  bool send(std::uint32_t from, std::uint32_t to, std::size_t bytes, double departure,
+            std::function<void()> deliver) {
+    ++stats_.messages_sent;
+    stats_.bytes_sent += bytes;
+    if (blocked_by_partition(from, to, departure)) {
+      ++stats_.messages_partitioned;
+      return false;
+    }
+    if (config_.loss_prob > 0.0 && rng_.chance(config_.loss_prob)) {
+      ++stats_.messages_lost;
+      return false;
+    }
+    double latency = config_.latency_fixed +
+                     config_.latency_per_byte * static_cast<double>(bytes);
+    if (config_.jitter_frac > 0.0) {
+      latency *= rng_.uniform(1.0 - config_.jitter_frac, 1.0 + config_.jitter_frac);
+    }
+    stats_.bytes_delivered += bytes;
+    kernel_->at(departure + latency, [this, deliver = std::move(deliver)]() {
+      ++stats_.messages_delivered;
+      deliver();
+    });
+    return true;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const NetConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] bool blocked_by_partition(std::uint32_t from, std::uint32_t to,
+                                          double t) const {
+    for (const Partition& p : partitions_) {
+      if (t < p.t0 || t >= p.t1) continue;
+      if (from >= p.group_of.size() || to >= p.group_of.size()) continue;
+      if (p.group_of[from] != p.group_of[to]) return true;
+    }
+    return false;
+  }
+
+  Kernel* kernel_;
+  NetConfig config_;
+  support::Rng rng_;
+  std::vector<Partition> partitions_;
+  Stats stats_;
+};
+
+}  // namespace ftbb::sim

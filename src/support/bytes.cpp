@@ -1,0 +1,6 @@
+#include "support/bytes.hpp"
+
+// All members are defined inline in the header; this translation unit exists
+// so the library has a home for the header's symbols under some linkers and
+// to keep a stable place for future out-of-line growth.
+namespace ftbb::support {}

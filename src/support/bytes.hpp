@@ -1,0 +1,138 @@
+// Compact binary serialization.
+//
+// Every FTBB wire message is encoded through ByteWriter/ByteReader so that
+// the simulator's communication-cost model (latency = alpha + beta * bytes,
+// exactly the paper's 1.5 + 0.005*L ms) and the storage-space measurements
+// (Table 1) are computed from honest on-the-wire byte counts rather than
+// sizeof() guesses. Integers use LEB128 varints because subproblem codes are
+// dominated by small variable indices; this is also what makes the paper's
+// work-report compression observable in bytes, not just in code counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ftbb::support {
+
+/// Append-only encoder producing a byte vector.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  /// Unsigned LEB128 varint, 1..10 bytes.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Signed values via zigzag so small negatives stay small.
+  void svarint(std::int64_t v) {
+    varint((static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63));
+  }
+
+  /// IEEE-754 doubles verbatim (bounds, incumbents, timestamps).
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void str(std::string_view s) {
+    varint(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential decoder over a byte span. Decoding errors abort via FTBB_CHECK:
+/// inside the simulator a malformed message is an implementation bug, never
+/// an environmental condition (the network model does not corrupt payloads,
+/// matching the paper's assumption that links do not corrupt messages).
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& v) : ByteReader(v.data(), v.size()) {}
+
+  std::uint8_t u8() {
+    FTBB_CHECK_MSG(pos_ < size_, "ByteReader: truncated u8");
+    return data_[pos_++];
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      FTBB_CHECK_MSG(pos_ < size_, "ByteReader: truncated varint");
+      const std::uint8_t byte = data_[pos_++];
+      FTBB_CHECK_MSG(shift < 64, "ByteReader: varint overflow");
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  std::int64_t svarint() {
+    const std::uint64_t z = varint();
+    return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  double f64() {
+    FTBB_CHECK_MSG(pos_ + 8 <= size_, "ByteReader: truncated f64");
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string str() {
+    const std::uint64_t n = varint();
+    FTBB_CHECK_MSG(pos_ + n <= size_, "ByteReader: truncated string");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  [[nodiscard]] bool done() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bytes varint(v) would occupy; used for size estimation without
+/// materializing a buffer (storage accounting of completion tables).
+constexpr std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace ftbb::support

@@ -1,0 +1,30 @@
+// Lightweight runtime assertions that stay enabled in release builds.
+//
+// Internal invariant violations in a distributed protocol are exactly the
+// bugs that silent `assert`-in-debug-only misses; FTBB_CHECK aborts with a
+// location-stamped message in every build type.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ftbb::support {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "FTBB_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ftbb::support
+
+#define FTBB_CHECK(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::ftbb::support::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define FTBB_CHECK_MSG(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) ::ftbb::support::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

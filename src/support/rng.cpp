@@ -1,0 +1,81 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ftbb::support {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  FTBB_CHECK(bound > 0);
+  // Lemire's nearly-divisionless method: widen-multiply and reject the
+  // biased low region. The rejection loop terminates quickly for any bound.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) {
+  FTBB_CHECK(mean > 0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u;
+  double v;
+  double s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal_mean_cv(double mean, double cv) {
+  FTBB_CHECK(mean > 0);
+  FTBB_CHECK(cv >= 0);
+  if (cv == 0.0) return mean;
+  // For LogNormal(mu, sigma): E = exp(mu + sigma^2/2), CV^2 = exp(sigma^2)-1.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  FTBB_CHECK(k <= n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over an explicit index vector.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      std::swap(idx[i], idx[j]);
+      out.push_back(idx[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling into a hash set.
+  std::unordered_set<std::size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const std::size_t candidate = static_cast<std::size_t>(below(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+}  // namespace ftbb::support

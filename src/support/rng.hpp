@@ -1,0 +1,125 @@
+// Deterministic, splittable random number generation.
+//
+// All randomness in FTBB (network jitter, peer selection, workload
+// generation, failure schedules) flows from seeded Rng streams so that every
+// simulation run is exactly reproducible from its seed. The generator is
+// xoshiro256** seeded through splitmix64, following the reference
+// implementations by Blackman & Vigna; both are tiny, fast, and have no
+// global state, which matters when thousands of simulated entities each own
+// an independent stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ftbb::support {
+
+/// splitmix64 step; used for seeding and for hashing small integers into
+/// well-mixed 64-bit values (e.g. deriving per-entity seeds from a master
+/// seed and an entity id).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two 64-bit values; handy for deriving child seeds.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Satisfies the std UniformRandomBitGenerator requirements so it can be
+/// used with <random> distributions, but FTBB mostly uses the built-in
+/// helpers below to avoid libstdc++ distribution implementation differences
+/// sneaking into "deterministic" results.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream for entity `id`; streams from distinct
+  /// ids are decorrelated by the splitmix64 avalanche.
+  [[nodiscard]] Rng split(std::uint64_t id) const {
+    return Rng(mix64(state_[0] ^ state_[3], id));
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    FTBB_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (inverse-CDF method).
+  double exponential(double mean);
+
+  /// Standard normal via Marsaglia polar method (no cached spare, keeps the
+  /// generator state a pure function of draw count).
+  double normal(double mean, double stddev);
+
+  /// Lognormal such that the *mean of the produced values* is `mean` and the
+  /// coefficient of variation is `cv` — convenient for node-cost models where
+  /// the paper reports mean cost per node.
+  double lognormal_mean_cv(double mean, double cv);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t pick(std::size_t size) {
+    FTBB_CHECK(size > 0);
+    return static_cast<std::size_t>(below(size));
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k <= n), uniformly, in
+  /// O(k) expected time; order of results is unspecified but deterministic.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace ftbb::support

@@ -1,0 +1,68 @@
+#include "support/stats.hpp"
+
+#include "support/check.hpp"
+
+namespace ftbb::support {
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-merge formulas.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  FTBB_CHECK_MSG(!bounds_.empty(), "Histogram needs at least one bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    FTBB_CHECK_MSG(bounds_[i - 1] < bounds_[i], "Histogram bounds must increase");
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::add(double x) {
+  if (total_ == 0) {
+    lowest_seen_ = x;
+    highest_seen_ = x;
+  } else {
+    lowest_seen_ = std::min(lowest_seen_, x);
+    highest_seen_ = std::max(highest_seen_, x);
+  }
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), x);
+  counts_[static_cast<std::size_t>(it - bounds_.begin())]++;
+  ++total_;
+}
+
+double Histogram::quantile(double q) const {
+  FTBB_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      // Interpolate within the bucket; treat the first/last buckets as
+      // pinned at the observed extremes.
+      const double lo = (i == 0) ? lowest_seen_ : bounds_[i - 1];
+      const double hi = (i == counts_.size() - 1) ? highest_seen_ : bounds_[i];
+      if (counts_[i] == 0) return lo;
+      const double frac = (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo + (hi - lo) * frac;
+    }
+    cumulative = next;
+  }
+  return highest_seen_;
+}
+
+}  // namespace ftbb::support

@@ -1,0 +1,68 @@
+// Streaming statistics accumulators used by the measurement layer.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ftbb::support {
+
+/// Welford mean/variance accumulator with min/max tracking.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+  void merge(const Accumulator& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-boundary histogram for latency/size distributions in reports.
+class Histogram {
+ public:
+  /// Buckets are [b0,b1), [b1,b2), ... plus an overflow bucket.
+  explicit Histogram(std::vector<double> bounds);
+
+  void add(double x);
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Linear-interpolated quantile estimate in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  // bounds_.size() + 1 entries
+  std::uint64_t total_ = 0;
+  double lowest_seen_ = 0.0;
+  double highest_seen_ = 0.0;
+};
+
+}  // namespace ftbb::support

@@ -1,0 +1,57 @@
+#include "support/table.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace ftbb::support {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  FTBB_CHECK(!header_.empty());
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  FTBB_CHECK_MSG(cells.size() == header_.size(), "row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+    }
+  }
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& r) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += "| ";
+      out += r[c];
+      out.append(width[c] - r[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += "|";
+    out.append(width[c] + 2, '-');
+  }
+  out += "|\n";
+  for (const auto& r : rows_) emit_row(r);
+  return out;
+}
+
+}  // namespace ftbb::support

@@ -1,0 +1,32 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// Every bench binary prints the rows/series of the paper table or figure it
+// regenerates; TextTable keeps that output aligned and diff-friendly without
+// dragging in a formatting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ftbb::support {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds one row; must match the header arity.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 2);
+
+  /// Renders with column alignment and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ftbb::support

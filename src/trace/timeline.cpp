@@ -1,0 +1,134 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace ftbb::trace {
+
+const char* to_string(Activity activity) {
+  switch (activity) {
+    case Activity::kBB:
+      return "bb";
+    case Activity::kContraction:
+      return "contraction";
+    case Activity::kComm:
+      return "comm";
+    case Activity::kLB:
+      return "lb";
+    case Activity::kIdle:
+      return "idle";
+    case Activity::kDead:
+      return "dead";
+    case Activity::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+char glyph(Activity activity) {
+  switch (activity) {
+    case Activity::kBB:
+      return 'B';
+    case Activity::kContraction:
+      return 'c';
+    case Activity::kComm:
+      return 'm';
+    case Activity::kLB:
+      return 'L';
+    case Activity::kIdle:
+      return '.';
+    case Activity::kDead:
+      return 'X';
+    case Activity::kDone:
+      return '=';
+  }
+  return '?';
+}
+
+void Timeline::add(std::uint32_t proc, double t0, double t1, Activity activity) {
+  if (t1 <= t0) return;
+  if (!intervals_.empty()) {
+    Interval& last = intervals_.back();
+    if (last.proc == proc && last.activity == activity && last.t1 >= t0 - 1e-12) {
+      last.t1 = std::max(last.t1, t1);
+      return;
+    }
+  }
+  intervals_.push_back(Interval{proc, t0, t1, activity});
+}
+
+double Timeline::end_time() const {
+  double end = 0.0;
+  for (const Interval& iv : intervals_) end = std::max(end, iv.t1);
+  return end;
+}
+
+std::string Timeline::render_ascii(std::uint32_t procs, int width) const {
+  FTBB_CHECK(width > 0);
+  const double end = end_time();
+  std::string out;
+  if (end <= 0.0) return out;
+  const double bucket = end / width;
+  // Per process row: accumulate time per activity per bucket, draw the
+  // dominant one.
+  for (std::uint32_t p = 0; p < procs; ++p) {
+    std::vector<std::vector<double>> weight(
+        static_cast<std::size_t>(width), std::vector<double>(kActivityCount, 0.0));
+    for (const Interval& iv : intervals_) {
+      if (iv.proc != p) continue;
+      int b0 = static_cast<int>(iv.t0 / bucket);
+      int b1 = static_cast<int>(iv.t1 / bucket);
+      b0 = std::clamp(b0, 0, width - 1);
+      b1 = std::clamp(b1, 0, width - 1);
+      for (int b = b0; b <= b1; ++b) {
+        const double lo = std::max(iv.t0, b * bucket);
+        const double hi = std::min(iv.t1, (b + 1) * bucket);
+        if (hi > lo) {
+          weight[static_cast<std::size_t>(b)][static_cast<int>(iv.activity)] += hi - lo;
+        }
+      }
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "P%-3u |", p);
+    out += label;
+    for (int b = 0; b < width; ++b) {
+      int best = static_cast<int>(Activity::kIdle);
+      double best_w = 0.0;
+      for (int a = 0; a < kActivityCount; ++a) {
+        if (weight[static_cast<std::size_t>(b)][a] > best_w) {
+          best_w = weight[static_cast<std::size_t>(b)][a];
+          best = a;
+        }
+      }
+      out += best_w > 0.0 ? glyph(static_cast<Activity>(best)) : ' ';
+    }
+    out += "|\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof(footer),
+                "      0%*s%.3fs\n", width - 1, "", end);
+  out += footer;
+  out += "      legend: B=branch&bound  c=contraction  m=comm  L=load-balance  "
+         ".=idle  X=dead  ==done\n";
+  return out;
+}
+
+std::string Timeline::to_csv() const {
+  std::string out = "proc,t0,t1,activity\n";
+  std::vector<Interval> sorted = intervals_;
+  std::sort(sorted.begin(), sorted.end(), [](const Interval& a, const Interval& b) {
+    if (a.proc != b.proc) return a.proc < b.proc;
+    return a.t0 < b.t0;
+  });
+  char line[128];
+  for (const Interval& iv : sorted) {
+    std::snprintf(line, sizeof(line), "%u,%.6f,%.6f,%s\n", iv.proc, iv.t0, iv.t1,
+                  to_string(iv.activity));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace ftbb::trace

@@ -1,0 +1,60 @@
+// Per-process activity timelines — the Jumpshot/MPE substitute.
+//
+// The paper visualizes executions (Figures 5 and 6) as per-processor state
+// timelines produced by the MPE logging library and the Jumpshot viewer.
+// Timeline collects the same information — which activity each process
+// performed over which interval — and renders it as an ASCII Gantt chart
+// and as CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftbb::trace {
+
+enum class Activity : std::uint8_t {
+  kBB = 0,          // expanding subproblems
+  kContraction = 1, // list contraction / table maintenance
+  kComm = 2,        // message serialization & handling
+  kLB = 3,          // load balancing (handling + waiting for work)
+  kIdle = 4,        // backoff, starvation, waiting for termination
+  kDead = 5,        // crashed
+  kDone = 6,        // halted after detecting termination
+};
+constexpr int kActivityCount = 7;
+
+[[nodiscard]] const char* to_string(Activity activity);
+[[nodiscard]] char glyph(Activity activity);  // one-character chart symbol
+
+struct Interval {
+  std::uint32_t proc = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  Activity activity = Activity::kIdle;
+};
+
+class Timeline {
+ public:
+  /// Appends an interval; adjacent intervals of one process with the same
+  /// activity are merged to bound memory.
+  void add(std::uint32_t proc, double t0, double t1, Activity activity);
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const { return intervals_; }
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+
+  /// Latest interval end across processes.
+  [[nodiscard]] double end_time() const;
+
+  /// ASCII Gantt chart: one row per process, `width` buckets; each bucket
+  /// shows the glyph of the activity dominating it. Includes a legend.
+  [[nodiscard]] std::string render_ascii(std::uint32_t procs, int width = 100) const;
+
+  /// "proc,t0,t1,activity" rows for external tooling.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<Interval> intervals_;  // grouped per proc in practice; render sorts
+};
+
+}  // namespace ftbb::trace

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bnb/basic_tree.hpp"
+#include "bnb/knapsack.hpp"
+#include "bnb/sequential.hpp"
+
+namespace ftbb::bnb {
+namespace {
+
+using core::PathCode;
+
+BasicTree small_random(std::uint64_t seed, std::uint64_t nodes = 201) {
+  RandomTreeConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  return BasicTree::random(cfg);
+}
+
+TEST(RandomTree, IsFullBinaryWithOddSize) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const BasicTree t = small_random(seed);
+    EXPECT_EQ(t.size() % 2, 1u);
+    std::size_t leaves = 0;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      const TreeNode& n = t.node(i);
+      if (n.is_leaf()) {
+        ++leaves;
+        EXPECT_EQ(n.child[0], -1);
+        EXPECT_EQ(n.child[1], -1);
+      } else {
+        EXPECT_GE(n.child[0], 0);
+        EXPECT_GE(n.child[1], 0);
+      }
+    }
+    EXPECT_EQ(leaves, (t.size() + 1) / 2);
+    EXPECT_EQ(t.leaf_count(), leaves);
+  }
+}
+
+TEST(RandomTree, TargetSizeIsRespected) {
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 1000;  // even: rounded up
+  cfg.seed = 3;
+  EXPECT_EQ(BasicTree::random(cfg).size(), 1001u);
+  cfg.target_nodes = 777;
+  EXPECT_EQ(BasicTree::random(cfg).size(), 777u);
+}
+
+TEST(RandomTree, AlwaysHasAFeasibleLeaf) {
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 101;
+  cfg.feasible_leaf_fraction = 0.0;  // generator must still force one
+  cfg.seed = 9;
+  const BasicTree t = BasicTree::random(cfg);
+  EXPECT_LT(t.optimal_value(), kInfinity);
+}
+
+TEST(RandomTree, BoundsAreMonotoneDown) {
+  const BasicTree t = small_random(4);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const TreeNode& n = t.node(i);
+    if (n.is_leaf()) continue;
+    for (const auto c : n.child) {
+      EXPECT_GE(t.node(static_cast<std::size_t>(c)).bound, n.bound);
+    }
+  }
+}
+
+TEST(RandomTree, FeasibleValuesRespectBounds) {
+  const BasicTree t = small_random(6);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const TreeNode& n = t.node(i);
+    if (n.feasible) {
+      EXPECT_GE(n.value, n.bound);
+    }
+  }
+}
+
+TEST(RandomTree, DeterministicForSeed) {
+  const BasicTree a = small_random(12);
+  const BasicTree b = small_random(12);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i).bound, b.node(i).bound);
+    EXPECT_EQ(a.node(i).cost, b.node(i).cost);
+    EXPECT_EQ(a.node(i).var, b.node(i).var);
+  }
+}
+
+TEST(RandomTree, DepthBiasDeepensTrees) {
+  RandomTreeConfig shallow;
+  shallow.target_nodes = 2001;
+  shallow.depth_bias = 0.0;
+  shallow.seed = 5;
+  RandomTreeConfig deep = shallow;
+  deep.depth_bias = 0.95;
+  EXPECT_GT(BasicTree::random(deep).max_depth(),
+            BasicTree::random(shallow).max_depth());
+}
+
+TEST(RandomTree, CostMeanApproximatelyHonored) {
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 20001;
+  cfg.cost_mean = 0.01;
+  cfg.cost_cv = 0.3;
+  cfg.seed = 8;
+  const BasicTree t = BasicTree::random(cfg);
+  EXPECT_NEAR(t.total_cost() / static_cast<double>(t.size()), 0.01, 0.001);
+}
+
+TEST(BasicTree, ScaleCosts) {
+  BasicTree t = small_random(3);
+  const double before = t.total_cost();
+  t.scale_costs(2.5);
+  EXPECT_NEAR(t.total_cost(), before * 2.5, 1e-9);
+}
+
+TEST(BasicTree, ResolveWalksCodes) {
+  const BasicTree t = small_random(7);
+  // Walk to a left-most leaf and resolve its code.
+  PathCode code = PathCode::root();
+  std::int32_t idx = 0;
+  while (!t.node(static_cast<std::size_t>(idx)).is_leaf()) {
+    const TreeNode& n = t.node(static_cast<std::size_t>(idx));
+    code = code.child(n.var, false);
+    idx = n.child[0];
+  }
+  EXPECT_EQ(t.resolve(code), idx);
+  EXPECT_EQ(t.resolve(PathCode::root()), 0);
+}
+
+TEST(BasicTree, EncodeDecodeRoundTrip) {
+  const BasicTree t = small_random(10);
+  support::ByteWriter w;
+  t.encode(w);
+  support::ByteReader r(w.data());
+  const BasicTree u = BasicTree::decode(r);
+  ASSERT_EQ(u.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(u.node(i).bound, t.node(i).bound);
+    EXPECT_EQ(u.node(i).cost, t.node(i).cost);
+    EXPECT_EQ(u.node(i).feasible, t.node(i).feasible);
+    EXPECT_EQ(u.node(i).var, t.node(i).var);
+    EXPECT_EQ(u.node(i).child[0], t.node(i).child[0]);
+  }
+  EXPECT_DOUBLE_EQ(u.optimal_value(), t.optimal_value());
+}
+
+TEST(BasicTree, SaveLoadRoundTrip) {
+  const BasicTree t = small_random(11);
+  const std::string path = ::testing::TempDir() + "/ftbb_tree_test.bin";
+  t.save(path);
+  const BasicTree u = BasicTree::load(path);
+  EXPECT_EQ(u.size(), t.size());
+  EXPECT_DOUBLE_EQ(u.optimal_value(), t.optimal_value());
+  std::remove(path.c_str());
+}
+
+TEST(BasicTree, RecordedKnapsackTreeMatchesLiveModel) {
+  // Recording (no elimination) then solving the recorded tree must find the
+  // same optimum as solving the live model directly.
+  const auto inst = KnapsackInstance::strongly_correlated(12, 40, 0.5, 3);
+  KnapsackModel live(inst);
+  const BasicTree recorded = BasicTree::record(live, 200000);
+  TreeProblem replay(&recorded);
+  ASSERT_TRUE(live.known_optimal().has_value());
+  EXPECT_DOUBLE_EQ(recorded.optimal_value(), *live.known_optimal());
+  const SeqResult via_tree = solve_sequential(replay);
+  EXPECT_DOUBLE_EQ(via_tree.best_value, *live.known_optimal());
+}
+
+TEST(BasicTree, RecordedTreePrunesLikeLive) {
+  const auto inst = KnapsackInstance::strongly_correlated(12, 40, 0.5, 5);
+  KnapsackModel live(inst);
+  const BasicTree recorded = BasicTree::record(live, 200000);
+  TreeProblem replay(&recorded);
+  const SeqResult live_run = solve_sequential(live);
+  const SeqResult tree_run = solve_sequential(replay);
+  // Same algorithm, same bounds -> identical search.
+  EXPECT_EQ(tree_run.expanded, live_run.expanded);
+  EXPECT_DOUBLE_EQ(tree_run.best_value, live_run.best_value);
+}
+
+TEST(TreeProblem, HonorBoundsFalseDisablesElimination) {
+  const BasicTree t = small_random(101);
+  TreeProblem prunable(&t, /*honor_bounds=*/true);
+  TreeProblem exhaustive(&t, /*honor_bounds=*/false);
+  const SeqResult pruned = solve_sequential(prunable);
+  const SeqResult full = solve_sequential(exhaustive);
+  // Without elimination every node is expanded (paper's random-tree mode).
+  EXPECT_EQ(full.expanded, t.size());
+  EXPECT_LE(pruned.expanded, full.expanded);
+  // Both find the same optimum.
+  EXPECT_DOUBLE_EQ(pruned.best_value, full.best_value);
+  EXPECT_DOUBLE_EQ(full.best_value, t.optimal_value());
+}
+
+TEST(TreeProblem, EvalMatchesRecordedNodes) {
+  const BasicTree t = small_random(15);
+  TreeProblem p(&t);
+  const NodeEval root = p.eval(PathCode::root());
+  EXPECT_DOUBLE_EQ(root.cost, t.root().cost);
+  if (!t.root().is_leaf()) {
+    ASSERT_EQ(root.children.size(), 2u);
+    EXPECT_EQ(root.children[0].var, t.root().var);
+    EXPECT_DOUBLE_EQ(root.children[0].bound,
+                     t.node(static_cast<std::size_t>(t.root().child[0])).bound);
+  }
+}
+
+TEST(TreeProblemDeath, ResolveRejectsForeignCodes) {
+  const BasicTree t = small_random(2);
+  // A code whose variable does not match the recorded branching variable.
+  const std::uint32_t wrong_var = t.root().var + 1000;
+  ASSERT_DEATH((void)t.resolve(PathCode::root().child(wrong_var, false)),
+               "variable mismatch");
+}
+
+}  // namespace
+}  // namespace ftbb::bnb

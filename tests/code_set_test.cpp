@@ -1,0 +1,380 @@
+// Tests for the completion table (list contraction, complement, coverage).
+//
+// The property tests build random *consistent* code sets by generating a
+// random basic tree and completing random subsets of its leaves, then
+// compare CodeSet against an oracle that tracks completion per tree node
+// with explicit upward propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bnb/basic_tree.hpp"
+#include "core/code_set.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::core {
+namespace {
+
+using bnb::BasicTree;
+using bnb::RandomTreeConfig;
+
+PathCode path(std::initializer_list<std::pair<std::uint32_t, bool>> steps) {
+  PathCode code = PathCode::root();
+  for (auto [var, bit] : steps) code = code.child(var, bit);
+  return code;
+}
+
+TEST(CodeSet, EmptyTable) {
+  CodeSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.code_count(), 0u);
+  EXPECT_FALSE(set.root_complete());
+  EXPECT_FALSE(set.covered(PathCode::root()));
+  EXPECT_TRUE(set.export_codes().empty());
+  set.check_invariants();
+}
+
+TEST(CodeSet, EmptyTableComplementIsRoot) {
+  CodeSet set;
+  const auto complement = set.complement();
+  ASSERT_EQ(complement.size(), 1u);
+  EXPECT_TRUE(complement[0].is_root());
+}
+
+TEST(CodeSet, SingleInsert) {
+  CodeSet set;
+  const PathCode c = path({{1, false}, {2, true}});
+  const auto r = set.insert(c);
+  EXPECT_TRUE(r.newly_covered);
+  EXPECT_TRUE(set.covered(c));
+  EXPECT_FALSE(set.covered(c.sibling()));
+  EXPECT_FALSE(set.covered(PathCode::root()));
+  EXPECT_TRUE(set.covered(c.child(9, true)));  // descendants are covered
+  EXPECT_EQ(set.code_count(), 1u);
+  set.check_invariants();
+}
+
+TEST(CodeSet, InsertIsIdempotent) {
+  CodeSet set;
+  const PathCode c = path({{1, false}});
+  EXPECT_TRUE(set.insert(c).newly_covered);
+  EXPECT_FALSE(set.insert(c).newly_covered);
+  EXPECT_EQ(set.code_count(), 1u);
+}
+
+TEST(CodeSet, SiblingsContractToParent) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, false}}));
+  EXPECT_EQ(set.code_count(), 1u);
+  const auto r = set.insert(path({{1, false}, {2, true}}));
+  EXPECT_EQ(r.merges, 1u);
+  EXPECT_EQ(set.code_count(), 1u);
+  const auto codes = set.export_codes();
+  ASSERT_EQ(codes.size(), 1u);
+  EXPECT_EQ(codes[0], path({{1, false}}));  // the parent
+  set.check_invariants();
+}
+
+TEST(CodeSet, ContractionCascadesToRoot) {
+  // Completing all four grandchildren contracts pairwise up to the root —
+  // the termination condition of Section 5.4.
+  CodeSet set;
+  set.insert(path({{1, false}, {2, false}}));
+  set.insert(path({{1, false}, {2, true}}));
+  EXPECT_FALSE(set.root_complete());
+  set.insert(path({{1, true}, {3, false}}));
+  const auto r = set.insert(path({{1, true}, {3, true}}));
+  EXPECT_GE(r.merges, 2u);  // pair -> (x1,1), then siblings -> root
+  EXPECT_TRUE(set.root_complete());
+  EXPECT_EQ(set.code_count(), 1u);
+  ASSERT_EQ(set.export_codes().size(), 1u);
+  EXPECT_TRUE(set.export_codes()[0].is_root());
+  EXPECT_TRUE(set.complement().empty());
+  set.check_invariants();
+}
+
+TEST(CodeSet, AncestorSubsumesDescendants) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, false}, {4, true}}));
+  set.insert(path({{1, false}, {2, true}}));
+  EXPECT_EQ(set.code_count(), 2u);
+  // Insert the ancestor of both: everything below (x1,0) collapses.
+  set.insert(path({{1, false}}));
+  EXPECT_EQ(set.code_count(), 1u);
+  EXPECT_TRUE(set.covered(path({{1, false}, {2, false}})));
+  set.check_invariants();
+}
+
+TEST(CodeSet, DescendantOfCompleteIsNoop) {
+  CodeSet set;
+  set.insert(path({{1, false}}));
+  const auto r = set.insert(path({{1, false}, {2, true}, {3, false}}));
+  EXPECT_FALSE(r.newly_covered);
+  EXPECT_EQ(set.code_count(), 1u);
+}
+
+TEST(CodeSet, RootInsertCompletesEverything) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, true}}));
+  set.insert(PathCode::root());
+  EXPECT_TRUE(set.root_complete());
+  EXPECT_EQ(set.code_count(), 1u);
+  EXPECT_TRUE(set.covered(path({{5, true}})));
+  set.check_invariants();
+}
+
+TEST(CodeSet, CoveringCode) {
+  CodeSet set;
+  const PathCode c = path({{1, false}, {2, true}});
+  set.insert(c);
+  EXPECT_EQ(set.covering_code(c), c);
+  EXPECT_EQ(set.covering_code(c.child(7, false)), c);
+  EXPECT_EQ(set.covering_code(c.sibling()), std::nullopt);
+  EXPECT_EQ(set.covering_code(PathCode::root()), std::nullopt);
+  set.insert(c.sibling());
+  // After contraction the covering code is the parent.
+  EXPECT_EQ(set.covering_code(c), path({{1, false}}));
+}
+
+TEST(CodeSet, ComplementListsUnreportedSiblings) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, true}}));
+  const auto complement = set.complement();
+  // Uncovered regions: (x1,0)(x2,0) and (x1,1).
+  ASSERT_EQ(complement.size(), 2u);
+  EXPECT_NE(std::find(complement.begin(), complement.end(),
+                      path({{1, false}, {2, false}})),
+            complement.end());
+  EXPECT_NE(std::find(complement.begin(), complement.end(), path({{1, true}})),
+            complement.end());
+}
+
+TEST(CodeSet, ComplementIsDisjointFromTable) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, true}, {5, false}}));
+  set.insert(path({{1, true}, {3, false}}));
+  for (const PathCode& c : set.complement()) {
+    EXPECT_FALSE(set.covered(c)) << c.to_string();
+    // And no completed code lies inside a complement region.
+    for (const PathCode& done : set.export_codes()) {
+      EXPECT_FALSE(c.contains(done));
+    }
+  }
+}
+
+TEST(CodeSet, ExportOrderIsDeterministicDfs) {
+  CodeSet a;
+  CodeSet b;
+  const std::vector<PathCode> codes = {
+      path({{1, true}, {3, false}}),
+      path({{1, false}, {2, true}}),
+      path({{1, false}, {2, false}, {4, true}}),
+  };
+  for (const auto& c : codes) a.insert(c);
+  for (auto it = codes.rbegin(); it != codes.rend(); ++it) b.insert(*it);
+  EXPECT_EQ(a.export_codes(), b.export_codes());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(CodeSet, EncodedBytesTracksExport) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, true}}));
+  set.insert(path({{1, true}}));
+  support::ByteWriter w;
+  const auto codes = set.export_codes();
+  w.varint(codes.size());
+  for (const auto& c : codes) c.encode(w);
+  EXPECT_EQ(set.encoded_bytes(), w.size());
+}
+
+TEST(CodeSet, ClearResets) {
+  CodeSet set;
+  set.insert(path({{1, false}}));
+  set.clear();
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.root_complete());
+  EXPECT_EQ(set.trie_nodes(), 1u);
+  set.check_invariants();
+}
+
+TEST(CodeSetDeath, InconsistentVariableAborts) {
+  CodeSet set;
+  set.insert(path({{1, false}, {2, false}}));
+  ASSERT_DEATH(set.insert(path({{1, false}, {9, true}})),
+               "disagree on a node's branching variable");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against an oracle on random trees
+// ---------------------------------------------------------------------------
+
+struct Oracle {
+  const BasicTree* tree;
+  std::vector<char> complete;  // per node index
+
+  explicit Oracle(const BasicTree* t) : tree(t), complete(t->size(), 0) {}
+
+  void mark(std::int32_t idx) {
+    if (complete[static_cast<std::size_t>(idx)]) return;
+    complete[static_cast<std::size_t>(idx)] = 1;
+    propagate();
+  }
+
+  void propagate() {
+    // Fixpoint: a node with two complete children is complete; children of
+    // complete nodes are complete.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t i = 0; i < tree->size(); ++i) {
+        const auto& n = tree->node(i);
+        if (n.is_leaf()) continue;
+        const bool kids = complete[static_cast<std::size_t>(n.child[0])] &&
+                          complete[static_cast<std::size_t>(n.child[1])];
+        if (kids && !complete[i]) {
+          complete[i] = 1;
+          changed = true;
+        }
+        if (complete[i]) {
+          for (const auto c : n.child) {
+            if (!complete[static_cast<std::size_t>(c)]) {
+              complete[static_cast<std::size_t>(c)] = 1;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+};
+
+/// Collects (code, node index) for every node of the tree.
+void collect_codes(const BasicTree& tree, std::int32_t idx, const PathCode& code,
+                   std::vector<std::pair<PathCode, std::int32_t>>& out) {
+  out.emplace_back(code, idx);
+  const auto& n = tree.node(static_cast<std::size_t>(idx));
+  if (n.is_leaf()) return;
+  for (int bit = 0; bit < 2; ++bit) {
+    collect_codes(tree, n.child[bit], code.child(n.var, bit != 0), out);
+  }
+}
+
+class CodeSetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodeSetPropertyTest, MatchesOracleOnRandomCompletions) {
+  const std::uint64_t seed = GetParam();
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 301;
+  cfg.seed = seed;
+  const BasicTree tree = BasicTree::random(cfg);
+  std::vector<std::pair<PathCode, std::int32_t>> nodes;
+  collect_codes(tree, 0, PathCode::root(), nodes);
+
+  support::Rng rng(seed * 13 + 7);
+  CodeSet set;
+  Oracle oracle(&tree);
+  // Complete a random sequence of leaves (the realistic input: interior
+  // completions arise only from contraction).
+  std::vector<std::size_t> leaf_indices;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (tree.node(static_cast<std::size_t>(nodes[i].second)).is_leaf()) {
+      leaf_indices.push_back(i);
+    }
+  }
+  const std::size_t to_complete = leaf_indices.size() / 2 + 1;
+  const auto picks =
+      rng.sample_without_replacement(leaf_indices.size(), to_complete);
+  for (const std::size_t pick : picks) {
+    const auto& [code, idx] = nodes[leaf_indices[pick]];
+    set.insert(code);
+    oracle.mark(idx);
+  }
+  set.check_invariants();
+
+  // Coverage agrees with the oracle on every node of the tree.
+  for (const auto& [code, idx] : nodes) {
+    EXPECT_EQ(set.covered(code),
+              oracle.complete[static_cast<std::size_t>(idx)] != 0)
+        << code.to_string();
+  }
+
+  // The complement + the completed set partition the leaves: every leaf is
+  // covered either by the table or by exactly one complement region.
+  const auto complement = set.complement();
+  for (const auto& [code, idx] : nodes) {
+    if (!tree.node(static_cast<std::size_t>(idx)).is_leaf()) continue;
+    int covering_regions = 0;
+    for (const PathCode& region : complement) {
+      if (region.contains(code)) ++covering_regions;
+    }
+    if (set.covered(code)) {
+      EXPECT_EQ(covering_regions, 0) << code.to_string();
+    } else {
+      EXPECT_EQ(covering_regions, 1) << code.to_string();
+    }
+  }
+}
+
+TEST_P(CodeSetPropertyTest, InsertionOrderDoesNotMatter) {
+  const std::uint64_t seed = GetParam();
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 201;
+  cfg.seed = seed + 1000;
+  const BasicTree tree = BasicTree::random(cfg);
+  std::vector<std::pair<PathCode, std::int32_t>> nodes;
+  collect_codes(tree, 0, PathCode::root(), nodes);
+
+  std::vector<PathCode> leaves;
+  for (const auto& [code, idx] : nodes) {
+    if (tree.node(static_cast<std::size_t>(idx)).is_leaf()) leaves.push_back(code);
+  }
+  support::Rng rng(seed);
+  CodeSet forward;
+  for (const auto& c : leaves) forward.insert(c);
+  // Shuffled insertion produces the identical contracted table.
+  std::vector<PathCode> shuffled = leaves;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.pick(i)]);
+  }
+  CodeSet backward;
+  for (const auto& c : shuffled) backward.insert(c);
+  EXPECT_TRUE(forward == backward);
+  // All leaves complete -> the whole tree contracts to the root.
+  EXPECT_TRUE(forward.root_complete());
+}
+
+TEST_P(CodeSetPropertyTest, MergingPartialTablesEqualsDirectInsert) {
+  const std::uint64_t seed = GetParam();
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 201;
+  cfg.seed = seed + 2000;
+  const BasicTree tree = BasicTree::random(cfg);
+  std::vector<std::pair<PathCode, std::int32_t>> nodes;
+  collect_codes(tree, 0, PathCode::root(), nodes);
+  std::vector<PathCode> leaves;
+  for (const auto& [code, idx] : nodes) {
+    if (tree.node(static_cast<std::size_t>(idx)).is_leaf()) leaves.push_back(code);
+  }
+  // Split leaves across two "workers"; merging their contracted exports into
+  // a third table equals inserting everything directly (epidemic-merge
+  // correctness).
+  CodeSet a;
+  CodeSet b;
+  CodeSet direct;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    (i % 2 ? a : b).insert(leaves[i]);
+    direct.insert(leaves[i]);
+  }
+  CodeSet merged;
+  merged.insert_all(a.export_codes());
+  merged.insert_all(b.export_codes());
+  EXPECT_TRUE(merged == direct);
+  merged.check_invariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodeSetPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace ftbb::core

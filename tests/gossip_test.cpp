@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gossip/membership.hpp"
+#include "gossip/view.hpp"
+
+namespace ftbb::gossip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MembershipView
+// ---------------------------------------------------------------------------
+
+TEST(View, ObserveInsertsAndRefreshes) {
+  MembershipView v;
+  EXPECT_TRUE(v.observe(1, 5, 0.0));
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_FALSE(v.observe(1, 5, 1.0));  // same heartbeat: no refresh
+  EXPECT_FALSE(v.observe(1, 4, 1.0));  // older: ignored
+  EXPECT_TRUE(v.observe(1, 6, 1.0));
+  EXPECT_DOUBLE_EQ(v.entries().at(1).last_refresh, 1.0);
+}
+
+TEST(View, MergeTakesMaxHeartbeat) {
+  MembershipView v;
+  v.observe(1, 5, 0.0);
+  v.observe(2, 3, 0.0);
+  const std::size_t refreshed = v.merge({{1, 9}, {2, 2}, {3, 1}}, 2.0);
+  EXPECT_EQ(refreshed, 2u);  // 1 refreshed, 3 new; 2 stale
+  EXPECT_EQ(v.entries().at(1).beat, 9u);
+  EXPECT_EQ(v.entries().at(2).beat, 3u);
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(View, MergeIsIdempotent) {
+  MembershipView v;
+  const std::vector<Heartbeat> digest = {{1, 5}, {2, 3}};
+  v.merge(digest, 0.0);
+  EXPECT_EQ(v.merge(digest, 1.0), 0u);
+}
+
+TEST(View, PruneDropsSilentMembers) {
+  MembershipView v;
+  v.observe(1, 1, 0.0);
+  v.observe(2, 1, 5.0);
+  const auto dropped = v.prune(8.0, 3.0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], 1u);
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+}
+
+TEST(View, HigherHeartbeatResurrectsDropped) {
+  MembershipView v;
+  v.observe(1, 7, 0.0);
+  v.prune(100.0, 1.0);
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_EQ(v.dropped_beat(1), 7u);
+  EXPECT_TRUE(v.observe(1, 8, 101.0));  // a false positive heals itself
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_EQ(v.dropped_beat(1), std::nullopt);
+}
+
+TEST(View, StaleGossipCannotResurrectTheDead) {
+  // The classic epidemic-resurrection hazard: after a member is dropped,
+  // its old heartbeats keep circulating in other members' digests. They
+  // must not re-add it.
+  MembershipView v;
+  v.observe(1, 7, 0.0);
+  v.prune(100.0, 1.0);
+  EXPECT_FALSE(v.observe(1, 7, 101.0));
+  EXPECT_FALSE(v.observe(1, 3, 102.0));
+  EXPECT_FALSE(v.contains(1));
+}
+
+TEST(View, DigestRoundTrip) {
+  MembershipView v;
+  v.observe(3, 10, 0.0);
+  v.observe(1, 20, 0.0);
+  support::ByteWriter w;
+  MembershipView::encode_digest(v.digest(), w);
+  support::ByteReader r(w.data());
+  const auto decoded = MembershipView::decode_digest(r);
+  EXPECT_EQ(decoded, v.digest());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(View, MembersSortedAscending) {
+  MembershipView v;
+  v.observe(9, 1, 0.0);
+  v.observe(2, 1, 0.0);
+  v.observe(5, 1, 0.0);
+  EXPECT_EQ(v.members(), (std::vector<MemberId>{2, 5, 9}));
+}
+
+// ---------------------------------------------------------------------------
+// MembershipSim (E12 machinery)
+// ---------------------------------------------------------------------------
+
+std::vector<MemberScript> all_join_at_zero(std::uint32_t n) {
+  std::vector<MemberScript> scripts;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MemberScript script;
+    script.id = i;
+    scripts.push_back(script);
+  }
+  return scripts;
+}
+
+TEST(Membership, ViewsConvergeToFullGroup) {
+  MembershipConfig cfg;
+  const auto result =
+      MembershipSim::run(all_join_at_zero(12), cfg, sim::NetConfig{}, 20.0, 1);
+  ASSERT_EQ(result.final_views.size(), 12u);
+  for (const auto& [id, view] : result.final_views) {
+    EXPECT_EQ(view.size(), 12u) << "member " << id;
+  }
+  EXPECT_EQ(result.metrics.false_positives, 0u);
+}
+
+TEST(Membership, LateJoinerPropagatesThroughServers) {
+  auto scripts = all_join_at_zero(8);
+  MemberScript joiner;
+  joiner.id = 8;
+  joiner.join_time = 10.0;
+  scripts.push_back(joiner);
+  MembershipConfig cfg;
+  const auto result = MembershipSim::run(scripts, cfg, sim::NetConfig{}, 30.0, 2);
+  for (const auto& [id, view] : result.final_views) {
+    EXPECT_TRUE(std::find(view.begin(), view.end(), 8u) != view.end())
+        << "member " << id << " never learned of the joiner";
+  }
+  EXPECT_GT(result.metrics.join_latency.count(), 0u);
+}
+
+TEST(Membership, CrashIsDetectedWithinTimeoutWindow) {
+  auto scripts = all_join_at_zero(10);
+  scripts[6].crash_time = 10.0;
+  MembershipConfig cfg;
+  cfg.gossip_interval = 0.5;
+  cfg.fail_timeout = 4.0;
+  const auto result = MembershipSim::run(scripts, cfg, sim::NetConfig{}, 40.0, 3);
+  // Every live member eventually drops the victim.
+  for (const auto& [id, view] : result.final_views) {
+    EXPECT_TRUE(std::find(view.begin(), view.end(), 6u) == view.end())
+        << "member " << id << " still lists the crashed member";
+  }
+  ASSERT_GT(result.metrics.detection_latency.count(), 0u);
+  EXPECT_GE(result.metrics.detection_latency.min(), cfg.fail_timeout * 0.9);
+  EXPECT_LE(result.metrics.detection_latency.max(),
+            cfg.fail_timeout + 12 * cfg.gossip_interval);
+}
+
+TEST(Membership, SurvivesMessageLoss) {
+  auto scripts = all_join_at_zero(10);
+  scripts[3].crash_time = 8.0;
+  MembershipConfig cfg;
+  sim::NetConfig net;
+  net.loss_prob = 0.2;
+  const auto result = MembershipSim::run(scripts, cfg, net, 60.0, 4);
+  for (const auto& [id, view] : result.final_views) {
+    EXPECT_TRUE(std::find(view.begin(), view.end(), 3u) == view.end());
+    EXPECT_EQ(view.size(), 9u);
+  }
+}
+
+TEST(Membership, AccuracyHighAtSteadyState) {
+  MembershipConfig cfg;
+  const auto result =
+      MembershipSim::run(all_join_at_zero(16), cfg, sim::NetConfig{}, 30.0, 5);
+  EXPECT_GT(result.metrics.accuracy.mean(), 0.9);
+}
+
+TEST(Membership, NetworkLoadScalesWithGroupAndFanout) {
+  MembershipConfig one;
+  one.fanout = 1;
+  MembershipConfig two;
+  two.fanout = 2;
+  const auto a = MembershipSim::run(all_join_at_zero(10), one, sim::NetConfig{}, 20.0, 6);
+  const auto b = MembershipSim::run(all_join_at_zero(10), two, sim::NetConfig{}, 20.0, 6);
+  // Twice the fanout, roughly twice the digests.
+  EXPECT_GT(b.metrics.digests_sent, a.metrics.digests_sent * 3 / 2);
+  // Digest size grows with group size -> bytes per digest ~ linear in n.
+  const auto small =
+      MembershipSim::run(all_join_at_zero(4), one, sim::NetConfig{}, 20.0, 7);
+  const double bytes_per_digest_small =
+      static_cast<double>(small.metrics.digest_bytes) /
+      static_cast<double>(small.metrics.digests_sent);
+  const double bytes_per_digest_large =
+      static_cast<double>(a.metrics.digest_bytes) /
+      static_cast<double>(a.metrics.digests_sent);
+  EXPECT_GT(bytes_per_digest_large, bytes_per_digest_small * 1.5);
+}
+
+TEST(Membership, GracefulLeaveDisappearsFromViews) {
+  auto scripts = all_join_at_zero(8);
+  scripts[5].leave_time = 6.0;
+  MembershipConfig cfg;
+  const auto result = MembershipSim::run(scripts, cfg, sim::NetConfig{}, 30.0, 8);
+  for (const auto& [id, view] : result.final_views) {
+    EXPECT_TRUE(std::find(view.begin(), view.end(), 5u) == view.end());
+  }
+}
+
+}  // namespace
+}  // namespace ftbb::gossip

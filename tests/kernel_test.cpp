@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+namespace ftbb::sim {
+namespace {
+
+TEST(Kernel, DispatchesInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.at(3.0, [&] { order.push_back(3); });
+  k.at(1.0, [&] { order.push_back(1); });
+  k.at(2.0, [&] { order.push_back(2); });
+  const auto res = k.run();
+  EXPECT_TRUE(res.drained);
+  EXPECT_EQ(res.events, 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Kernel, TiesBreakByInsertionOrder) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    k.at(1.0, [&order, i] { order.push_back(i); });
+  }
+  k.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Kernel, NowAdvancesToEventTime) {
+  Kernel k;
+  double seen = -1.0;
+  k.at(5.5, [&] { seen = k.now(); });
+  k.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+  EXPECT_DOUBLE_EQ(k.now(), 5.5);
+}
+
+TEST(Kernel, HandlersCanScheduleMore) {
+  Kernel k;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) k.after(1.0, chain);
+  };
+  k.after(1.0, chain);
+  const auto res = k.run();
+  EXPECT_TRUE(res.drained);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(k.now(), 5.0);
+}
+
+TEST(Kernel, ZeroDelaySameTimeRunsAfterCurrent) {
+  Kernel k;
+  std::vector<int> order;
+  k.at(1.0, [&] {
+    order.push_back(1);
+    k.after(0.0, [&] { order.push_back(2); });
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Kernel, TimeLimitStopsBeforeEvent) {
+  Kernel k;
+  int fired = 0;
+  k.at(1.0, [&] { ++fired; });
+  k.at(10.0, [&] { ++fired; });
+  const auto res = k.run(5.0);
+  EXPECT_TRUE(res.hit_time_limit);
+  EXPECT_FALSE(res.drained);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.queued(), 1u);
+}
+
+TEST(Kernel, EventLimitStops) {
+  Kernel k;
+  std::function<void()> forever = [&] { k.after(1.0, forever); };
+  k.after(1.0, forever);
+  const auto res = k.run(1e18, 100);
+  EXPECT_TRUE(res.hit_event_limit);
+  EXPECT_EQ(res.events, 100u);
+}
+
+TEST(KernelDeath, SchedulingIntoThePastAborts) {
+  Kernel k;
+  k.at(5.0, [&] { k.at(1.0, [] {}); });
+  ASSERT_DEATH(k.run(), "scheduling into the past");
+}
+
+}  // namespace
+}  // namespace ftbb::sim

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/messages.hpp"
+
+namespace ftbb::core {
+namespace {
+
+Message round_trip(const Message& m) {
+  support::ByteWriter w;
+  m.encode(w);
+  EXPECT_EQ(w.size(), m.wire_size());
+  support::ByteReader r(w.data());
+  Message out = Message::decode(r);
+  EXPECT_TRUE(r.done());
+  return out;
+}
+
+TEST(Messages, WorkRequestRoundTrip) {
+  Message m;
+  m.type = MsgType::kWorkRequest;
+  m.from = 17;
+  m.best_known = -123.5;
+  m.request_id = 42;
+  const Message out = round_trip(m);
+  EXPECT_EQ(out.type, MsgType::kWorkRequest);
+  EXPECT_EQ(out.from, 17u);
+  EXPECT_EQ(out.best_known, -123.5);
+  EXPECT_EQ(out.request_id, 42u);
+}
+
+TEST(Messages, InfinityIncumbentSurvives) {
+  Message m;
+  m.type = MsgType::kWorkDeny;
+  m.best_known = bnb::kInfinity;
+  EXPECT_EQ(round_trip(m).best_known, bnb::kInfinity);
+}
+
+TEST(Messages, WorkGrantCarriesProblems) {
+  Message m;
+  m.type = MsgType::kWorkGrant;
+  m.from = 3;
+  m.best_known = 9.0;
+  m.request_id = 7;
+  m.problems.push_back(
+      bnb::Subproblem{PathCode::root().child(1, false), -15.25});
+  m.problems.push_back(
+      bnb::Subproblem{PathCode::root().child(1, true).child(4, true), -7.5});
+  const Message out = round_trip(m);
+  ASSERT_EQ(out.problems.size(), 2u);
+  EXPECT_EQ(out.problems[0].code, m.problems[0].code);
+  EXPECT_EQ(out.problems[0].bound, -15.25);
+  EXPECT_EQ(out.problems[1].code, m.problems[1].code);
+}
+
+TEST(Messages, WorkReportCarriesCodes) {
+  Message m;
+  m.type = MsgType::kWorkReport;
+  m.from = 1;
+  m.best_known = 2.5;
+  m.codes.push_back(PathCode::root().child(2, true));
+  m.codes.push_back(PathCode::root().child(2, false).child(3, true));
+  const Message out = round_trip(m);
+  ASSERT_EQ(out.codes.size(), 2u);
+  EXPECT_EQ(out.codes[0], m.codes[0]);
+  EXPECT_EQ(out.codes[1], m.codes[1]);
+}
+
+TEST(Messages, RootReportIsTheRootCode) {
+  Message m;
+  m.type = MsgType::kRootReport;
+  m.codes.push_back(PathCode::root());
+  const Message out = round_trip(m);
+  ASSERT_EQ(out.codes.size(), 1u);
+  EXPECT_TRUE(out.codes[0].is_root());
+}
+
+TEST(Messages, TableGossipRoundTrip) {
+  Message m;
+  m.type = MsgType::kTableGossip;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    m.codes.push_back(PathCode::root().child(i, i % 2 == 0));
+  }
+  EXPECT_EQ(round_trip(m).codes.size(), 50u);
+}
+
+TEST(Messages, WireSizeGrowsWithPayload) {
+  Message small;
+  small.type = MsgType::kWorkReport;
+  small.codes.push_back(PathCode::root().child(1, false));
+  Message large = small;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    large.codes.push_back(PathCode::root().child(1, true).child(i + 2, false));
+  }
+  EXPECT_GT(large.wire_size(), small.wire_size());
+}
+
+TEST(Messages, RequestIsSmall) {
+  // Control messages should cost little under the 0.005 ms/byte model.
+  Message m;
+  m.type = MsgType::kWorkRequest;
+  m.from = 1000;
+  m.request_id = 100000;
+  EXPECT_LE(m.wire_size(), 20u);
+}
+
+TEST(Messages, SummaryMentionsTypeAndCounts) {
+  Message m;
+  m.type = MsgType::kWorkGrant;
+  m.from = 2;
+  m.problems.push_back(bnb::Subproblem{PathCode::root().child(1, false), 0.0});
+  const std::string s = m.summary();
+  EXPECT_NE(s.find("work-grant"), std::string::npos);
+  EXPECT_NE(s.find("problems=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftbb::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+
+namespace ftbb::sim {
+namespace {
+
+TEST(Network, LatencyFollowsLinearModel) {
+  // Paper model: 1.5 + 0.005 * L ms.
+  Kernel k;
+  NetConfig cfg;
+  cfg.latency_fixed = 1.5e-3;
+  cfg.latency_per_byte = 5e-6;
+  Network net(&k, cfg, support::Rng(1));
+  double arrival = -1.0;
+  net.send(0, 1, 100, 0.0, [&] { arrival = k.now(); });
+  k.run();
+  EXPECT_NEAR(arrival, 1.5e-3 + 100 * 5e-6, 1e-12);
+}
+
+TEST(Network, DepartureTimeShiftsArrival) {
+  Kernel k;
+  Network net(&k, NetConfig{}, support::Rng(1));
+  k.at(2.0, [&] {
+    net.send(0, 1, 0, 3.5, [] {});  // sender was busy until 3.5
+  });
+  double arrival = -1.0;
+  k.at(0.0, [&] {});
+  // Re-send with a capture we can observe.
+  Kernel k2;
+  Network net2(&k2, NetConfig{}, support::Rng(1));
+  net2.send(0, 1, 0, 3.5, [&] { arrival = k2.now(); });
+  k2.run();
+  EXPECT_NEAR(arrival, 3.5 + 1.5e-3, 1e-12);
+}
+
+TEST(Network, JitterBoundsLatency) {
+  Kernel k;
+  NetConfig cfg;
+  cfg.jitter_frac = 0.5;
+  Network net(&k, cfg, support::Rng(7));
+  std::vector<double> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    net.send(0, 1, 0, 0.0, [&] { arrivals.push_back(k.now()); });
+  }
+  k.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (const double a : arrivals) {
+    EXPECT_GE(a, cfg.latency_fixed * 0.5 - 1e-12);
+    EXPECT_LE(a, cfg.latency_fixed * 1.5 + 1e-12);
+  }
+}
+
+TEST(Network, LossProbabilityOneDropsEverything) {
+  Kernel k;
+  NetConfig cfg;
+  cfg.loss_prob = 1.0;
+  Network net(&k, cfg, support::Rng(5));
+  int delivered = 0;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(net.send(0, 1, 10, 0.0, [&] { ++delivered; }));
+  }
+  k.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.stats().messages_lost, 50u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST(Network, LossRateIsApproximatelyHonored) {
+  Kernel k;
+  NetConfig cfg;
+  cfg.loss_prob = 0.25;
+  Network net(&k, cfg, support::Rng(11));
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) net.send(0, 1, 1, 0.0, [&] { ++delivered; });
+  k.run();
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.75, 0.02);
+}
+
+TEST(Network, PartitionBlocksCrossGroupOnly) {
+  Kernel k;
+  Network net(&k, NetConfig{}, support::Rng(1));
+  net.add_partition(Partition{1.0, 2.0, {0, 0, 1}});  // nodes 0,1 vs node 2
+  int delivered = 0;
+  // During the window: 0->1 passes, 0->2 blocked.
+  EXPECT_TRUE(net.send(0, 1, 0, 1.5, [&] { ++delivered; }));
+  EXPECT_FALSE(net.send(0, 2, 0, 1.5, [&] { ++delivered; }));
+  // Outside the window both pass.
+  EXPECT_TRUE(net.send(0, 2, 0, 2.5, [&] { ++delivered; }));
+  EXPECT_TRUE(net.send(0, 2, 0, 0.5, [&] { ++delivered; }));
+  k.run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(net.stats().messages_partitioned, 1u);
+}
+
+TEST(Network, StatsCountBytes) {
+  Kernel k;
+  Network net(&k, NetConfig{}, support::Rng(1));
+  net.send(0, 1, 100, 0.0, [] {});
+  net.send(1, 0, 50, 0.0, [] {});
+  k.run();
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().bytes_sent, 150u);
+  EXPECT_EQ(net.stats().bytes_delivered, 150u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+}
+
+}  // namespace
+}  // namespace ftbb::sim

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "bnb/partition.hpp"
+#include "bnb/sequential.hpp"
+#include "sim/cluster.hpp"
+
+namespace ftbb::bnb {
+namespace {
+
+using core::PathCode;
+
+TEST(PartitionInstance, GeneratorSortsDescending) {
+  const auto inst = PartitionInstance::random(20, 1000, 1);
+  for (std::size_t i = 1; i < inst.values.size(); ++i) {
+    EXPECT_GE(inst.values[i - 1], inst.values[i]);
+  }
+  EXPECT_GT(inst.total(), 0);
+}
+
+TEST(PartitionInstance, DpKnownCases) {
+  PartitionInstance inst;
+  inst.values = {5, 4, 3};  // {5} vs {4,3}: diff 2
+  EXPECT_EQ(inst.dp_optimal_difference(), 2);
+  inst.values = {4, 3, 3, 2};  // {4,2} vs {3,3}: diff 0
+  EXPECT_EQ(inst.dp_optimal_difference(), 0);
+  inst.values = {10};
+  EXPECT_EQ(inst.dp_optimal_difference(), 10);
+}
+
+TEST(PartitionModel, RootBoundIsAdmissible) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    PartitionModel model(PartitionInstance::random(14, 500, seed));
+    ASSERT_TRUE(model.known_optimal().has_value());
+    EXPECT_LE(model.root_bound(), *model.known_optimal());
+  }
+}
+
+TEST(PartitionModel, LeafValueIsTheDifference) {
+  PartitionInstance inst;
+  inst.values = {7, 5, 2};
+  PartitionModel model(inst);
+  // Assign all to A: diff = 14.
+  PathCode code = PathCode::root().child(0, true).child(1, true).child(2, true);
+  const NodeEval leaf = model.eval(code);
+  ASSERT_TRUE(leaf.feasible_leaf);
+  EXPECT_DOUBLE_EQ(leaf.value, 14.0);
+  // {7} vs {5,2}: diff 0.
+  code = PathCode::root().child(0, true).child(1, false).child(2, false);
+  EXPECT_DOUBLE_EQ(model.eval(code).value, 0.0);
+}
+
+TEST(PartitionModel, ResidualBoundTightensAsExpected) {
+  PartitionInstance inst;
+  inst.values = {100, 10, 5};
+  PartitionModel model(inst);
+  // After placing 100 in A: |diff|=100, remaining=15 -> bound 85.
+  const NodeEval root = model.eval(PathCode::root());
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_DOUBLE_EQ(root.children[0].bound, 85.0);
+  EXPECT_DOUBLE_EQ(root.children[1].bound, 85.0);  // symmetric
+}
+
+TEST(PartitionModel, BoundOfMatchesChildBounds) {
+  PartitionModel model(PartitionInstance::random(10, 200, 3));
+  const NodeEval root = model.eval(PathCode::root());
+  for (const ChildOut& c : root.children) {
+    EXPECT_DOUBLE_EQ(model.bound_of(PathCode::root().child(c.var, c.bit != 0)),
+                     c.bound);
+  }
+}
+
+class PartitionSolveTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionSolveTest, SequentialMatchesDp) {
+  const std::uint64_t seed = GetParam();
+  PartitionModel model(PartitionInstance::random(16, 300, seed));
+  ASSERT_TRUE(model.known_optimal().has_value());
+  const SeqResult res = solve_sequential(model);
+  EXPECT_TRUE(res.completed);
+  EXPECT_DOUBLE_EQ(res.best_value, *model.known_optimal());
+}
+
+TEST_P(PartitionSolveTest, DistributedWithCrashesMatchesDp) {
+  const std::uint64_t seed = GetParam();
+  NodeCostModel cost;
+  cost.mean = 1e-3;
+  PartitionModel model(PartitionInstance::random(15, 200, seed), cost);
+  ASSERT_TRUE(model.known_optimal().has_value());
+  sim::ClusterConfig cfg;
+  cfg.workers = 4;
+  cfg.seed = seed;
+  cfg.worker.report_batch = 4;
+  cfg.worker.report_flush_interval = 0.05;
+  cfg.worker.table_gossip_interval = 0.2;
+  cfg.worker.work_request_timeout = 0.02;
+  cfg.worker.idle_backoff = 0.005;
+  cfg.time_limit = 300.0;
+  const sim::ClusterResult baseline = sim::SimCluster::run(model, cfg);
+  ASSERT_TRUE(baseline.all_live_halted);
+  EXPECT_DOUBLE_EQ(baseline.solution, *model.known_optimal());
+  // Kill half the workers mid-run; still exact.
+  cfg.crashes = {{1, baseline.makespan * 0.4}, {2, baseline.makespan * 0.6}};
+  const sim::ClusterResult res = sim::SimCluster::run(model, cfg);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, *model.known_optimal());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSolveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(PartitionModelDeath, OutOfOrderCodeAborts) {
+  PartitionModel model(PartitionInstance::random(8, 100, 2));
+  ASSERT_DEATH((void)model.eval(PathCode::root().child(3, true)),
+               "out-of-order variable");
+}
+
+}  // namespace
+}  // namespace ftbb::bnb

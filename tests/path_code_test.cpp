@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/path_code.hpp"
+#include "support/bytes.hpp"
+
+namespace ftbb::core {
+namespace {
+
+TEST(PathCode, RootProperties) {
+  const PathCode root = PathCode::root();
+  EXPECT_TRUE(root.is_root());
+  EXPECT_EQ(root.depth(), 0u);
+  EXPECT_EQ(root.to_string(), "()");
+}
+
+TEST(PathCode, ChildParentInverse) {
+  const PathCode root = PathCode::root();
+  const PathCode c = root.child(3, true).child(7, false);
+  EXPECT_EQ(c.depth(), 2u);
+  EXPECT_EQ(c.parent().parent(), root);
+  EXPECT_EQ(c.parent(), root.child(3, true));
+}
+
+TEST(PathCode, SiblingFlipsLastBit) {
+  const PathCode c = PathCode::root().child(1, false).child(2, true);
+  const PathCode s = c.sibling();
+  EXPECT_EQ(s.depth(), c.depth());
+  EXPECT_EQ(s.parent(), c.parent());
+  EXPECT_NE(s, c);
+  EXPECT_EQ(s.sibling(), c);
+  EXPECT_EQ(s.last().bit, 0);
+}
+
+TEST(PathCode, PaperNotation) {
+  // Figure 1: (<x1,0>,<x2,1>)
+  const PathCode c = PathCode::root().child(1, false).child(2, true);
+  EXPECT_EQ(c.to_string(), "(<x1,0>,<x2,1>)");
+}
+
+TEST(PathCode, ContainsIsReflexiveAndAncestral) {
+  const PathCode a = PathCode::root().child(1, false);
+  const PathCode b = a.child(2, true).child(5, false);
+  EXPECT_TRUE(PathCode::root().contains(b));
+  EXPECT_TRUE(a.contains(a));
+  EXPECT_TRUE(a.contains(b));
+  EXPECT_FALSE(b.contains(a));
+  EXPECT_TRUE(a.is_ancestor_of(b));
+  EXPECT_FALSE(a.is_ancestor_of(a));
+}
+
+TEST(PathCode, SiblingsDontContainEachOther) {
+  const PathCode a = PathCode::root().child(1, false);
+  EXPECT_FALSE(a.contains(a.sibling()));
+  EXPECT_FALSE(a.sibling().contains(a));
+}
+
+TEST(PathCode, PrefixProducesAncestors) {
+  const PathCode c =
+      PathCode::root().child(1, true).child(2, false).child(3, true);
+  EXPECT_EQ(c.prefix(0), PathCode::root());
+  EXPECT_EQ(c.prefix(3), c);
+  EXPECT_TRUE(c.prefix(2).is_ancestor_of(c));
+}
+
+TEST(PathCode, OrderingIsLexicographic) {
+  const PathCode root = PathCode::root();
+  const PathCode l = root.child(1, false);
+  const PathCode r = root.child(1, true);
+  const PathCode ll = l.child(2, false);
+  EXPECT_LT(root, l);
+  EXPECT_LT(l, ll);
+  EXPECT_LT(ll, r);  // descending into the left subtree precedes the right
+}
+
+TEST(PathCode, EncodeDecodeRoundTrip) {
+  std::vector<PathCode> cases = {PathCode::root()};
+  PathCode deep = PathCode::root();
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    deep = deep.child(i * 3 + 1, (i % 2) != 0);
+    cases.push_back(deep);
+  }
+  cases.push_back(PathCode::root().child(1000000, true));
+  for (const PathCode& c : cases) {
+    support::ByteWriter w;
+    c.encode(w);
+    EXPECT_EQ(w.size(), c.encoded_size()) << c.to_string();
+    support::ByteReader r(w.data());
+    EXPECT_EQ(PathCode::decode(r), c);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(PathCode, EncodedSizeGrowsWithDepth) {
+  PathCode c = PathCode::root();
+  std::size_t prev = c.encoded_size();
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    c = c.child(i, false);
+    EXPECT_GT(c.encoded_size(), prev);
+    prev = c.encoded_size();
+  }
+}
+
+TEST(PathCode, SmallVarsEncodeOneBytePerLevel) {
+  // Variables < 64 pack with their bit into a single byte.
+  PathCode c = PathCode::root();
+  for (std::uint32_t i = 0; i < 20; ++i) c = c.child(i, true);
+  EXPECT_EQ(c.encoded_size(), 1 + 20u);
+}
+
+TEST(PathCode, HashDistinguishesCodes) {
+  std::set<std::size_t> hashes;
+  PathCode c = PathCode::root();
+  hashes.insert(c.hash());
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    c = c.child(i % 17, (i % 3) == 0);
+    hashes.insert(c.hash());
+    hashes.insert(c.sibling().hash());
+  }
+  // All distinct codes should hash distinctly here (no collisions among 401).
+  EXPECT_GT(hashes.size(), 395u);
+}
+
+TEST(PathCode, HashMatchesEquality) {
+  const PathCode a = PathCode::root().child(4, true).child(9, false);
+  const PathCode b = PathCode::root().child(4, true).child(9, false);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(PathCodeDeath, ParentOfRootAborts) {
+  ASSERT_DEATH((void)PathCode::root().parent(), "root code has no parent");
+}
+
+TEST(PathCodeDeath, SiblingOfRootAborts) {
+  ASSERT_DEATH((void)PathCode::root().sibling(), "root code has no sibling");
+}
+
+}  // namespace
+}  // namespace ftbb::core

@@ -1,0 +1,123 @@
+// Tests of the real-time (thread-backed) runtime hosting the identical
+// worker protocol. Runs are nondeterministic; assertions target protocol
+// correctness (optimum, termination, crash survival), never timing.
+#include <gtest/gtest.h>
+
+#include "bnb/basic_tree.hpp"
+#include "bnb/knapsack.hpp"
+#include "rt/runtime.hpp"
+
+namespace ftbb::rt {
+namespace {
+
+using bnb::BasicTree;
+using bnb::RandomTreeConfig;
+using bnb::TreeProblem;
+
+RtConfig fast_config(std::uint32_t workers, std::uint64_t seed) {
+  RtConfig cfg;
+  cfg.workers = workers;
+  cfg.seed = seed;
+  cfg.wall_timeout = 90.0;
+  cfg.time_scale = 1.0;
+  cfg.worker.report_batch = 4;
+  cfg.worker.report_flush_interval = 0.02;
+  cfg.worker.table_gossip_interval = 0.05;
+  cfg.worker.work_request_timeout = 0.01;
+  cfg.worker.idle_backoff = 0.004;
+  cfg.worker.initial_stagger = 0.002;
+  return cfg;
+}
+
+BasicTree tiny_tree(std::uint64_t seed, std::uint64_t nodes = 401) {
+  RandomTreeConfig cfg;
+  cfg.target_nodes = nodes;
+  cfg.seed = seed;
+  cfg.cost_mean = 1e-4;  // ~40 ms of total virtual work
+  return BasicTree::random(cfg);
+}
+
+TEST(Rt, SingleThreadSolves) {
+  const BasicTree tree = tiny_tree(1, 201);
+  TreeProblem problem(&tree);
+  const RtResult res = Cluster::run(problem, fast_config(1, 1));
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+}
+
+TEST(Rt, FourThreadsSolveTree) {
+  const BasicTree tree = tiny_tree(2);
+  TreeProblem problem(&tree);
+  const RtResult res = Cluster::run(problem, fast_config(4, 2));
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+  EXPECT_GT(res.messages_delivered, 0u);
+}
+
+TEST(Rt, KnapsackMatchesDp) {
+  const auto inst = bnb::KnapsackInstance::strongly_correlated(14, 50, 0.5, 3);
+  bnb::NodeCostModel cost;
+  cost.mean = 1e-4;
+  bnb::KnapsackModel model(inst, cost);
+  ASSERT_TRUE(model.known_optimal().has_value());
+  const RtResult res = Cluster::run(model, fast_config(4, 3));
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, *model.known_optimal());
+}
+
+TEST(Rt, SurvivesWorkerCrashes) {
+  const BasicTree tree = tiny_tree(4, 801);
+  TreeProblem problem(&tree);
+  RtConfig cfg = fast_config(4, 4);
+  // Kill two workers early, while work is still spreading.
+  cfg.crashes = {{1, 0.01}, {3, 0.02}};
+  const RtResult res = Cluster::run(problem, cfg);
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+  EXPECT_TRUE(res.crashed[1]);
+  EXPECT_TRUE(res.crashed[3]);
+}
+
+TEST(Rt, SurvivesMessageLoss) {
+  const BasicTree tree = tiny_tree(5);
+  TreeProblem problem(&tree);
+  RtConfig cfg = fast_config(3, 5);
+  cfg.net_loss_prob = 0.1;
+  const RtResult res = Cluster::run(problem, cfg);
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+}
+
+TEST(Rt, LatencyDelaysDoNotBreakCorrectness) {
+  const BasicTree tree = tiny_tree(6);
+  TreeProblem problem(&tree);
+  RtConfig cfg = fast_config(3, 6);
+  cfg.net_latency_fixed = 0.002;
+  cfg.net_latency_per_byte = 1e-7;
+  const RtResult res = Cluster::run(problem, cfg);
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+}
+
+TEST(Rt, StatsAreCollected) {
+  const BasicTree tree = tiny_tree(7);
+  TreeProblem problem(&tree);
+  const RtResult res = Cluster::run(problem, fast_config(3, 7));
+  ASSERT_TRUE(res.all_live_halted);
+  std::uint64_t total_expanded = 0;
+  for (const auto& w : res.workers) {
+    total_expanded += w.expanded;
+    EXPECT_GE(w.time[0], 0.0);
+  }
+  // Every node of the tree was expanded at least once (bounds honored, so
+  // some are eliminated; at minimum the feasible optimum path was walked).
+  EXPECT_GT(total_expanded, 0u);
+}
+
+}  // namespace
+}  // namespace ftbb::rt

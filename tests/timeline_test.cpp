@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/timeline.hpp"
+
+namespace ftbb::trace {
+namespace {
+
+TEST(Timeline, MergesAdjacentSameActivity) {
+  Timeline t;
+  t.add(0, 0.0, 1.0, Activity::kBB);
+  t.add(0, 1.0, 2.0, Activity::kBB);
+  ASSERT_EQ(t.intervals().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.intervals()[0].t1, 2.0);
+}
+
+TEST(Timeline, KeepsDistinctActivities) {
+  Timeline t;
+  t.add(0, 0.0, 1.0, Activity::kBB);
+  t.add(0, 1.0, 2.0, Activity::kComm);
+  EXPECT_EQ(t.intervals().size(), 2u);
+}
+
+TEST(Timeline, SeparatesProcesses) {
+  Timeline t;
+  t.add(0, 0.0, 1.0, Activity::kBB);
+  t.add(1, 1.0, 2.0, Activity::kBB);
+  EXPECT_EQ(t.intervals().size(), 2u);
+}
+
+TEST(Timeline, IgnoresEmptyIntervals) {
+  Timeline t;
+  t.add(0, 1.0, 1.0, Activity::kBB);
+  t.add(0, 2.0, 1.0, Activity::kBB);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Timeline, EndTime) {
+  Timeline t;
+  EXPECT_DOUBLE_EQ(t.end_time(), 0.0);
+  t.add(2, 0.5, 4.25, Activity::kIdle);
+  t.add(0, 0.0, 1.0, Activity::kBB);
+  EXPECT_DOUBLE_EQ(t.end_time(), 4.25);
+}
+
+TEST(Timeline, AsciiChartHasRowPerProcess) {
+  Timeline t;
+  t.add(0, 0.0, 1.0, Activity::kBB);
+  t.add(1, 0.0, 0.5, Activity::kLB);
+  t.add(1, 0.5, 1.0, Activity::kDead);
+  const std::string chart = t.render_ascii(2, 40);
+  EXPECT_NE(chart.find("P0"), std::string::npos);
+  EXPECT_NE(chart.find("P1"), std::string::npos);
+  EXPECT_NE(chart.find('B'), std::string::npos);
+  EXPECT_NE(chart.find('X'), std::string::npos);
+  EXPECT_NE(chart.find("legend"), std::string::npos);
+}
+
+TEST(Timeline, AsciiDominantActivityWins) {
+  Timeline t;
+  // Bucket width 1.0 with width=1: BB dominates 0.9 vs idle 0.1.
+  t.add(0, 0.0, 0.9, Activity::kBB);
+  t.add(0, 0.9, 1.0, Activity::kIdle);
+  const std::string chart = t.render_ascii(1, 1);
+  EXPECT_NE(chart.find("|B|"), std::string::npos);
+}
+
+TEST(Timeline, CsvFormat) {
+  Timeline t;
+  t.add(1, 0.0, 0.5, Activity::kComm);
+  t.add(0, 0.25, 1.0, Activity::kBB);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("proc,t0,t1,activity"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.000000,0.500000,comm"), std::string::npos);
+  // Sorted by process.
+  EXPECT_LT(csv.find(",bb"), csv.find(",comm"));
+}
+
+TEST(Timeline, GlyphsAreUnique) {
+  std::set<char> glyphs;
+  for (int a = 0; a < kActivityCount; ++a) {
+    glyphs.insert(glyph(static_cast<Activity>(a)));
+  }
+  EXPECT_EQ(glyphs.size(), static_cast<std::size_t>(kActivityCount));
+}
+
+}  // namespace
+}  // namespace ftbb::trace
