@@ -1,0 +1,57 @@
+// Scenario-engine demonstration: one declarative FaultPlan replayed against
+// all three backends (the paper's decentralized protocol, the centralized
+// manager/worker baseline, and DIB), plus a kitchen-sink schedule showing
+// every fault kind at once. Run twice with the same seed and the printed
+// fingerprints match bit for bit — every fault schedule is a regression
+// artifact.
+#include <cstdio>
+
+#include "sim/scenario.hpp"
+
+int main() {
+  using namespace ftbb;
+
+  sim::ScenarioSpec spec;
+  spec.name = "demo";
+  spec.workers = 4;
+  spec.seed = 7;
+  spec.workload.kind = sim::WorkloadKind::kKnapsack;
+  spec.workload.size = 14;
+  spec.workload.seed = 7;
+  spec.workload.cost_mean = 2e-3;
+  spec.tune_for_small_problems();
+  spec.faults.crash(2, 0.06)
+      .loss(0.0, 1e9, 0.08)
+      .split_halves(0.1, 0.25);
+
+  std::printf("=== one fault plan, three backends ===\n");
+  std::printf("%s\n", spec.faults.describe().c_str());
+  for (const sim::Backend backend :
+       {sim::Backend::kFtbb, sim::Backend::kCentral, sim::Backend::kDib}) {
+    spec.backend = backend;
+    const sim::ScenarioReport report = sim::ScenarioRunner::run(spec);
+    std::printf("%s\n", report.to_string().c_str());
+    if (!report.completed || !report.optimum_matched) return 1;
+  }
+
+  std::printf("=== kitchen sink: crash + rejoin + partition + loss + churn ===\n");
+  sim::ScenarioSpec sink;
+  sink.name = "kitchen-sink";
+  sink.workers = 3;
+  sink.seed = 11;
+  sink.workload.kind = sim::WorkloadKind::kSyntheticTree;
+  sink.workload.size = 601;
+  sink.workload.seed = 11;
+  sink.workload.cost_mean = 2e-3;
+  sink.tune_for_small_problems();
+  sink.faults.bounce(1, 0.08, 0.35)
+      .split_halves(0.15, 0.3)
+      .loss(0.0, 1e9, 0.05)
+      .link_loss(0, 2, 0.2, 0.5, 0.5)
+      .churn(3, 2, 0.1, 0.05);
+  std::printf("fault kinds exercised: %d of %d\n\n",
+              sink.faults.distinct_fault_kinds(), sim::kFaultKinds);
+  const sim::ScenarioReport report = sim::ScenarioRunner::run(sink);
+  std::printf("%s", report.to_string().c_str());
+  return report.completed && report.optimum_matched ? 0 : 1;
+}

@@ -94,10 +94,29 @@ struct Worker {
   bool fetch_outstanding = false;
   double incumbent = bnb::kInfinity;
   std::uint64_t expanded = 0;
+  /// Incarnation counter: closures belonging to a crashed incarnation must
+  /// not resume after a revive (their batch state is stale).
+  std::uint64_t epoch = 0;
 
   Worker(Sim* s, std::uint32_t i) : sim(s), id(i) {}
 
   [[nodiscard]] bool running() const { return alive && !stopped; }
+
+  /// Fresh-process restart of a crashed worker (fault-injection hook). The
+  /// previous incarnation's batch, if any, stays with the manager's audit.
+  void revive() {
+    if (alive || stopped) return;
+    ++epoch;
+    alive = true;
+    busy = false;
+    fetch_outstanding = false;
+    incumbent = bnb::kInfinity;
+    // A fetch the dead incarnation parked in the manager's waiting list
+    // would combine with the fresh fetch below to hand this worker two
+    // concurrent batches.
+    std::erase(sim->waiting_workers, id);
+    fetch();
+  }
 
   void fetch() {
     if (!running() || busy || fetch_outstanding) return;
@@ -107,8 +126,8 @@ struct Worker {
       if (sim->manager_alive) sim->on_fetch(id);
     });
     // Fetches lost to a down manager are retried.
-    sim->kernel.after(sim->cfg.reissue_timeout, [this] {
-      if (running() && fetch_outstanding) {
+    sim->kernel.after(sim->cfg.reissue_timeout, [this, e = epoch] {
+      if (e == epoch && running() && fetch_outstanding) {
         fetch_outstanding = false;
         fetch();
       }
@@ -118,6 +137,9 @@ struct Worker {
   void on_batch(std::uint64_t batch_id, std::vector<bnb::Subproblem> problems,
                 double best) {
     if (!running()) return;
+    // Never run two batch chains at once; a dropped batch stays in the
+    // manager's outstanding ledger and is reissued by the audit.
+    if (busy) return;
     fetch_outstanding = false;
     incumbent = std::min(incumbent, best);
     busy = true;
@@ -153,8 +175,9 @@ struct Worker {
     ++sim->expansions[p.code];
     sim->kernel.after(
         eval.cost, [this, batch_id, todo = std::move(todo),
-                    children = std::move(children), p = std::move(p), eval]() mutable {
-          if (!running()) return;
+                    children = std::move(children), p = std::move(p), eval,
+                    e = epoch]() mutable {
+          if (e != epoch || !running()) return;
           if (eval.feasible_leaf) {
             incumbent = std::min(incumbent, eval.value);
           } else {
@@ -183,8 +206,11 @@ void Sim::try_dispatch() {
     outstanding.emplace(batch_id, Batch{batch, w, kernel.now()});
     Worker* worker = workers[w - 1].get();
     net->send(0, w, batch_bytes(batch), kernel.now(),
-              [worker, batch_id, batch = std::move(batch), best = incumbent] {
-                worker->on_batch(batch_id, batch, best);
+              [worker, batch_id, batch = std::move(batch), best = incumbent,
+               e = worker->epoch] {
+                // Batches addressed to a crashed incarnation are not handed
+                // to its replacement; the audit will reissue them.
+                if (e == worker->epoch) worker->on_batch(batch_id, batch, best);
               });
   }
 }
@@ -295,28 +321,51 @@ CentralResult CentralSim::run(const bnb::IProblemModel& model, std::uint32_t wor
                               const CentralConfig& config, const sim::NetConfig& net,
                               const std::vector<CentralCrash>& crashes,
                               double time_limit, std::uint64_t seed) {
+  CentralFaults faults;
+  faults.crashes = crashes;
+  return run_with_faults(model, worker_count, config, net, faults, time_limit, seed);
+}
+
+CentralResult CentralSim::run_with_faults(
+    const bnb::IProblemModel& model, std::uint32_t worker_count,
+    const CentralConfig& config, const sim::NetConfig& net,
+    const CentralFaults& faults, double time_limit, std::uint64_t seed) {
   FTBB_CHECK(worker_count >= 1);
+  FTBB_CHECK_MSG(faults.worker_join_times.empty() ||
+                     faults.worker_join_times.size() == worker_count,
+                 "worker_join_times must be empty or one entry per worker");
   Sim sim(model, config, time_limit);
   support::Rng master(seed);
   sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x63656e74));
+  for (const ftbb::sim::Partition& p : faults.partitions) sim.net->add_partition(p);
   for (std::uint32_t i = 1; i <= worker_count; ++i) {
     sim.workers.push_back(std::make_unique<Worker>(&sim, i));
   }
   sim.pool.push_back(bnb::Subproblem{PathCode::root(), model.root_bound()});
-  for (auto& w : sim.workers) {
-    sim.kernel.at(0.0, [wp = w.get()] { wp->fetch(); });
+  for (std::uint32_t i = 0; i < worker_count; ++i) {
+    const double when =
+        faults.worker_join_times.empty() ? 0.0 : faults.worker_join_times[i];
+    if (when >= time_limit) continue;  // never joins within this run
+    sim.kernel.at(when, [wp = sim.workers[i].get()] { wp->fetch(); });
   }
   sim.kernel.after(config.audit_interval, [&sim] { sim.audit(); });
   if (config.checkpointing) {
     sim.kernel.after(config.checkpoint_interval, [&sim] { sim.take_checkpoint(); });
   }
-  for (const CentralCrash& crash : crashes) {
+  for (const CentralCrash& crash : faults.crashes) {
     sim.kernel.at(crash.time, [&sim, crash] {
       if (crash.node == 0) {
         sim.crash_manager();
       } else if (crash.node <= sim.workers.size()) {
         sim.workers[crash.node - 1]->alive = false;
       }
+    });
+  }
+  for (const CentralCrash& rejoin : faults.rejoins) {
+    FTBB_CHECK_MSG(rejoin.node >= 1, "the manager cannot blank-restart; use checkpointing");
+    FTBB_CHECK(rejoin.node <= worker_count);
+    sim.kernel.at(rejoin.time, [&sim, rejoin] {
+      sim.workers[rejoin.node - 1]->revive();
     });
   }
   const auto kr = sim.kernel.run(time_limit);

@@ -41,6 +41,21 @@ struct CentralCrash {
   double time = 0.0;
 };
 
+/// Full fault-injection schedule for a centralized run. Node indices are
+/// network ids: 0 is the manager, 1..N the workers.
+struct CentralFaults {
+  std::vector<CentralCrash> crashes;
+  /// Worker restarts: the crashed worker re-enters as a fresh process and
+  /// re-fetches work. Rejoining node 0 is invalid — manager recovery is
+  /// checkpoint-based (CentralConfig::checkpointing), not a blank restart.
+  std::vector<CentralCrash> rejoins;
+  /// Temporary partitions over network ids (messages crossing groups drop).
+  std::vector<sim::Partition> partitions;
+  /// Empty, or one entry per worker (index 0 = worker node 1): the time the
+  /// worker starts fetching. Models late joiners / membership churn.
+  std::vector<double> worker_join_times;
+};
+
 struct CentralResult {
   bool completed = false;
   bool solution_found = false;
@@ -63,6 +78,14 @@ class CentralSim {
                            const CentralConfig& config, const sim::NetConfig& net,
                            const std::vector<CentralCrash>& crashes,
                            double time_limit, std::uint64_t seed);
+
+  /// Full fault-injection entry point (crashes, rejoins, partitions, late
+  /// joins); windowed loss arrives through `net.loss_rules`.
+  static CentralResult run_with_faults(const bnb::IProblemModel& model, std::uint32_t workers,
+                                       const CentralConfig& config,
+                                       const sim::NetConfig& net,
+                                       const CentralFaults& faults, double time_limit,
+                                       std::uint64_t seed);
 };
 
 }  // namespace ftbb::central

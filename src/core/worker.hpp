@@ -198,6 +198,35 @@ struct WorkerStats {
   [[nodiscard]] double busy_total() const {
     return time[0] + time[1] + time[2] + time[3];
   }
+
+  /// Field-wise accumulation of every time and counter (halted_at is an
+  /// instant, not a quantity, and is left untouched). Lives next to the
+  /// fields so a new counter cannot be forgotten here unnoticed; harnesses
+  /// use it to fold a crashed incarnation's stats into its successor's.
+  void add(const WorkerStats& other) {
+    for (int k = 0; k < kCostKinds; ++k) time[k] += other.time[k];
+    expanded += other.expanded;
+    eliminated += other.eliminated;
+    dead_ends += other.dead_ends;
+    feasible_leaves += other.feasible_leaves;
+    completions += other.completions;
+    covered_skips += other.covered_skips;
+    reports_sent += other.reports_sent;
+    report_codes_sent += other.report_codes_sent;
+    table_gossips_sent += other.table_gossips_sent;
+    msgs_sent += other.msgs_sent;
+    msgs_received += other.msgs_received;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    work_requests_sent += other.work_requests_sent;
+    grants_received += other.grants_received;
+    denies_received += other.denies_received;
+    request_timeouts += other.request_timeouts;
+    grants_given += other.grants_given;
+    problems_given += other.problems_given;
+    recoveries += other.recoveries;
+    incumbent_updates += other.incumbent_updates;
+  }
 };
 
 /// Environment the worker runs in. Implementations: sim::SimCluster

@@ -79,10 +79,30 @@ struct Machine {
   bool request_outstanding = false;
   std::uint64_t request_gen = 0;
   std::uint64_t expanded = 0;
+  /// Incarnation counter: a crashed incarnation's expansion continuation and
+  /// audit chain must not touch the replacement's (emptied) job list.
+  std::uint64_t epoch = 0;
 
   Machine(Sim* s, std::uint32_t i, std::uint64_t seed) : sim(s), id(i), rng(seed) {}
 
   [[nodiscard]] bool running() const { return alive && !stopped; }
+
+  /// Fresh restart of a crashed machine (fault-injection hook). Everything
+  /// local is lost — including the ledger, so work this machine donated
+  /// onward is redone by ITS donor, DIB's cascading-redo weakness.
+  void revive() {
+    if (alive || stopped || sim->concluded) return;
+    ++epoch;
+    alive = true;
+    busy = false;
+    request_outstanding = false;
+    pool.clear();
+    jobs.clear();
+    ledger.clear();
+    incumbent = bnb::kInfinity;
+    schedule_step();
+    audit();
+  }
 
   void absorb(double best) {
     if (best < incumbent) {
@@ -190,7 +210,8 @@ struct Machine {
     ++expanded;
     ++sim->total_expanded;
     ++sim->expansions[task.sub.code];
-    sim->kernel.after(eval.cost, [this, task = std::move(task), eval] {
+    sim->kernel.after(eval.cost, [this, task = std::move(task), eval, e = epoch] {
+      if (e != epoch) return;  // expansion begun by a crashed incarnation
       busy = false;
       if (!running()) return;
       apply_expansion(task, eval);
@@ -315,7 +336,10 @@ struct Machine {
       pool.push_back(donation.task);
     }
     if (!expired.empty()) schedule_step();
-    sim->kernel.after(sim->cfg.audit_interval, [this] { audit(); });
+    sim->kernel.after(sim->cfg.audit_interval, [this, e = epoch] {
+      // Each incarnation runs its own audit chain; a revive starts a new one.
+      if (e == epoch) audit();
+    });
   }
 };
 
@@ -325,10 +349,24 @@ DibResult DibSim::run(const bnb::IProblemModel& model, std::uint32_t machines,
                       const DibConfig& config, const sim::NetConfig& net,
                       const std::vector<DibCrash>& crashes, double time_limit,
                       std::uint64_t seed) {
+  DibFaults faults;
+  faults.crashes = crashes;
+  return run_with_faults(model, machines, config, net, faults, time_limit, seed);
+}
+
+DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
+                                  std::uint32_t machines, const DibConfig& config,
+                                  const sim::NetConfig& net, const DibFaults& faults,
+                                  double time_limit, std::uint64_t seed) {
   FTBB_CHECK(machines >= 1);
+  FTBB_CHECK_MSG(faults.join_times.empty() || faults.join_times.size() == machines,
+                 "join_times must be empty or one entry per machine");
+  FTBB_CHECK_MSG(faults.join_times.empty() || faults.join_times[0] == 0.0,
+                 "machine 0 holds the root job and must join at time 0");
   Sim sim(model, config, time_limit);
   support::Rng master(seed);
   sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x646962));
+  for (const ftbb::sim::Partition& p : faults.partitions) sim.net->add_partition(p);
   for (std::uint32_t i = 0; i < machines; ++i) {
     sim.machines.push_back(std::make_unique<Machine>(&sim, i, master.split(i).next()));
   }
@@ -337,16 +375,24 @@ DibResult DibSim::run(const bnb::IProblemModel& model, std::uint32_t machines,
   root.jobs.push_back(Job{PathCode::root(), -1, 0, 1, 0, false});
   root.pool.push_back(
       Task{bnb::Subproblem{PathCode::root(), model.root_bound()}, 0});
-  for (auto& m : sim.machines) {
-    sim.kernel.at(0.0, [mp = m.get()] {
+  for (std::uint32_t i = 0; i < machines; ++i) {
+    const double when = faults.join_times.empty() ? 0.0 : faults.join_times[i];
+    if (when >= time_limit) continue;  // never joins within this run
+    sim.kernel.at(when, [mp = sim.machines[i].get()] {
       mp->schedule_step();
       mp->audit();
     });
   }
-  for (const DibCrash& crash : crashes) {
+  for (const DibCrash& crash : faults.crashes) {
     FTBB_CHECK(crash.machine < machines);
     sim.kernel.at(crash.time, [&sim, crash] {
       sim.machines[crash.machine]->alive = false;
+    });
+  }
+  for (const DibCrash& rejoin : faults.rejoins) {
+    FTBB_CHECK(rejoin.machine < machines);
+    sim.kernel.at(rejoin.time, [&sim, rejoin] {
+      sim.machines[rejoin.machine]->revive();
     });
   }
   const auto kr = sim.kernel.run(time_limit);

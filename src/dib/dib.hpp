@@ -43,6 +43,20 @@ struct DibCrash {
   double time = 0.0;
 };
 
+/// Full fault-injection schedule for a DIB run. Machine ids are 0-based;
+/// machine 0 holds the root of the responsibility hierarchy.
+struct DibFaults {
+  std::vector<DibCrash> crashes;
+  /// Machine restarts: the crashed machine re-enters empty (pool, job list,
+  /// and donation ledger lost — its donor still redoes the donated work,
+  /// DIB's structural weakness). Reviving machine 0 cannot restore the root
+  /// job, faithfully leaving termination unconcludable.
+  std::vector<DibCrash> rejoins;
+  std::vector<sim::Partition> partitions;
+  /// Empty, or one entry per machine: when it starts working/requesting.
+  std::vector<double> join_times;
+};
+
 struct DibResult {
   bool completed = false;  // root machine concluded the computation
   bool solution_found = false;
@@ -64,6 +78,13 @@ class DibSim {
                        const DibConfig& config, const sim::NetConfig& net,
                        const std::vector<DibCrash>& crashes, double time_limit,
                        std::uint64_t seed);
+
+  /// Full fault-injection entry point (crashes, rejoins, partitions, late
+  /// joins); windowed loss arrives through `net.loss_rules`.
+  static DibResult run_with_faults(const bnb::IProblemModel& model,
+                                   std::uint32_t machines, const DibConfig& config,
+                                   const sim::NetConfig& net, const DibFaults& faults,
+                                   double time_limit, std::uint64_t seed);
 };
 
 }  // namespace ftbb::dib

@@ -131,6 +131,7 @@ class RtCluster {
   std::condition_variable done_cv_;
   std::uint32_t live_count_ = 0;
   std::uint32_t live_halted_ = 0;
+  std::uint32_t crashes_pending_ = 0;
 
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> lost_{0};
@@ -297,6 +298,7 @@ void RtCluster::worker_crashed() {
   {
     std::lock_guard lock(done_mutex_);
     --live_count_;
+    --crashes_pending_;
   }
   done_cv_.notify_one();
 }
@@ -304,18 +306,25 @@ void RtCluster::worker_crashed() {
 RtResult RtCluster::run() {
   start_ = Clock::now();
   delivery_.start();
+  std::vector<bool> crash_seen(config_.workers, false);
   for (const auto& [node, when] : config_.crashes) {
     FTBB_CHECK(node < config_.workers);
+    if (crash_seen[node]) continue;  // a second Crash would never be consumed
+    crash_seen[node] = true;
+    ++crashes_pending_;
     delivery_.schedule(when, node, Event{Crash{}});
   }
   for (auto& host : hosts_) host->start();
 
   RtResult result;
   {
+    // A fast computation must not finish out from under a pending crash
+    // injection: the Poison pill would reach the mailbox before the Crash
+    // event and the configured fault would silently never happen.
     std::unique_lock lock(done_mutex_);
     result.timed_out = !done_cv_.wait_for(
         lock, std::chrono::duration<double>(config_.wall_timeout),
-        [this] { return live_halted_ >= live_count_; });
+        [this] { return live_halted_ >= live_count_ && crashes_pending_ == 0; });
   }
   result.wall_seconds = now_wall();
   // Shut everything down: poison pills unblock worker threads.
@@ -330,9 +339,14 @@ RtResult RtCluster::run() {
   for (auto& host : hosts_) {
     result.workers.push_back(host->worker().stats());
     result.crashed.push_back(host->crashed());
-    if (!host->crashed()) {
+    const bool worker_halted = host->worker().halted();
+    // A worker killed only *after* it detected termination completed its
+    // part of the computation: the injection is honored (crashed above),
+    // but it must not retroactively turn a successful run into a failed
+    // one, so its halt and incumbent still count.
+    if (!host->crashed() || worker_halted) {
       ++live;
-      if (host->worker().halted()) {
+      if (worker_halted) {
         ++halted;
         if (host->worker().incumbent() < result.solution) {
           result.solution = host->worker().incumbent();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 #include <variant>
 
 #include "support/check.hpp"
@@ -35,15 +36,24 @@ trace::Activity to_activity(core::CostKind kind) {
 class SimCluster::WorkerHost final : public core::IWorkerEnv {
  public:
   WorkerHost(SimCluster* cluster, core::NodeId id, std::uint64_t seed)
-      : cluster_(cluster),
-        id_(id),
-        rng_(seed),
-        worker_(id, &cluster->model_, cluster->config_.worker, this) {}
+      : cluster_(cluster), id_(id), rng_(seed) {
+    worker_.emplace(id, &cluster->model_, cluster->config_.worker, this);
+  }
 
-  core::BnbWorker& worker() { return worker_; }
-  [[nodiscard]] const core::BnbWorker& worker() const { return worker_; }
+  core::BnbWorker& worker() { return *worker_; }
+  [[nodiscard]] const core::BnbWorker& worker() const { return *worker_; }
   [[nodiscard]] bool alive() const { return alive_; }
   [[nodiscard]] double crash_time() const { return crash_time_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  /// Current incarnation's stats plus everything crashed incarnations spent
+  /// (the paper's aggregates cover crashed processors' time too).
+  [[nodiscard]] core::WorkerStats merged_stats() const {
+    core::WorkerStats total = prior_stats_;
+    total.add(worker_->stats());
+    total.halted_at = worker_->stats().halted_at;
+    return total;
+  }
 
   /// One-shot removal from the set of workers that must halt for the run to
   /// be considered finished (crash, or a join that can never happen).
@@ -53,12 +63,20 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     --cluster_->live_count_;
   }
 
+  /// Re-entry after a revival: the fresh incarnation must halt again for
+  /// the run to finish.
+  void rejoin_live_set() {
+    if (counts_toward_live_) return;
+    counts_toward_live_ = true;
+    ++cluster_->live_count_;
+  }
+
   void start(bool with_root) {
     started_ = true;
     // Late joiners begin their local clock at the join instant; the time
     // before joining belongs to no activity category.
     busy_until_ = std::max(busy_until_, cluster_->kernel_.now());
-    worker_.on_start(with_root);
+    worker_->on_start(with_root);
   }
 
   [[nodiscard]] bool started() const { return started_; }
@@ -70,9 +88,28 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     pending_.clear();
   }
 
-  /// Entry point for message arrivals from the network.
-  void accept(core::Message msg) {
-    if (!started_ || !alive_ || worker_.halted()) return;  // crash-stop / terminated
+  /// Restarts a crashed worker as a fresh incarnation: state gone, epoch
+  /// bumped so the dead incarnation's in-flight messages and armed timers
+  /// are dropped, local clock restarted at the revival instant.
+  void revive() {
+    FTBB_CHECK(!alive_);
+    prior_stats_.add(worker_->stats());
+    ++epoch_;
+    alive_ = true;
+    started_ = true;
+    pending_.clear();
+    busy_until_ = cluster_->kernel_.now();
+    wait_hint_ = core::WaitHint::kIdle;
+    worker_.emplace(id_, &cluster_->model_, cluster_->config_.worker, this);
+    worker_->on_start(false);
+  }
+
+  /// Entry point for message arrivals from the network. `epoch` is the
+  /// incarnation the sender addressed; mail for a dead incarnation is
+  /// dropped even if the worker has since been revived.
+  void accept(core::Message msg, std::uint64_t epoch) {
+    if (epoch != epoch_) return;  // addressed to a crashed incarnation
+    if (!started_ || !alive_ || worker_->halted()) return;  // crash-stop / terminated
     pending_.emplace_back(std::move(msg));
     pump();
   }
@@ -83,7 +120,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 
   void send(core::NodeId to, core::Message msg) override {
     const std::size_t bytes = msg.wire_size();
-    auto& stats = worker_.stats();
+    auto& stats = worker_->stats();
     ++stats.msgs_sent;
     stats.bytes_sent += bytes;
     charge(core::CostKind::kComm,
@@ -92,13 +129,15 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     WorkerHost* dest = cluster_->hosts_[to].get();
     cluster_->network_->send(
         id_, to, bytes, busy_until_,
-        [dest, msg = std::move(msg)]() mutable { dest->accept(std::move(msg)); });
+        [dest, dest_epoch = dest->epoch(), msg = std::move(msg)]() mutable {
+          dest->accept(std::move(msg), dest_epoch);
+        });
   }
 
   void set_timer(core::TimerKind kind, double delay, std::uint64_t gen) override {
     FTBB_CHECK(delay >= 0.0);
-    cluster_->kernel_.at(busy_until_ + delay, [this, kind, gen]() {
-      if (!alive_ || worker_.halted()) return;
+    cluster_->kernel_.at(busy_until_ + delay, [this, kind, gen, epoch = epoch_]() {
+      if (epoch != epoch_ || !alive_ || worker_->halted()) return;
       pending_.emplace_back(TimerFire{kind, gen});
       pump();
     });
@@ -106,7 +145,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 
   void charge(core::CostKind kind, double seconds) override {
     if (seconds <= 0.0) return;
-    worker_.stats().time[static_cast<int>(kind)] += seconds;
+    worker_->stats().time[static_cast<int>(kind)] += seconds;
     if (cluster_->config_.record_trace) {
       cluster_->timeline_.add(id_, busy_until_, busy_until_ + seconds, to_activity(kind));
     }
@@ -150,7 +189,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 
   /// Unaccounted tail time for workers that never halted (hit a limit).
   void finalize(double end_time) {
-    if (alive_ && !worker_.halted() && end_time > busy_until_) {
+    if (alive_ && !worker_->halted() && end_time > busy_until_) {
       attribute_gap(busy_until_, end_time);
     }
   }
@@ -168,7 +207,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     const core::CostKind kind = (wait_hint_ == core::WaitHint::kAwaitingWork)
                                     ? core::CostKind::kLoadBalance
                                     : core::CostKind::kIdle;
-    worker_.stats().time[static_cast<int>(kind)] += dur;
+    worker_->stats().time[static_cast<int>(kind)] += dur;
     if (cluster_->config_.record_trace) {
       cluster_->timeline_.add(id_, from, to,
                               kind == core::CostKind::kLoadBalance
@@ -181,7 +220,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   /// makes the worker busy, the remainder waits for a wake at busy end.
   void pump() {
     const double t = cluster_->kernel_.now();
-    if (!alive_ || worker_.halted()) {
+    if (!alive_ || worker_->halted()) {
       pending_.clear();
       return;
     }
@@ -202,19 +241,19 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
       }
       if (std::holds_alternative<core::Message>(e)) {
         core::Message& msg = std::get<core::Message>(e);
-        auto& stats = worker_.stats();
+        auto& stats = worker_->stats();
         ++stats.msgs_received;
         stats.bytes_received += msg.wire_size();
         charge(core::CostKind::kComm,
                cluster_->config_.worker.costs.recv_fixed +
                    cluster_->config_.worker.costs.recv_per_byte *
                        static_cast<double>(msg.wire_size()));
-        worker_.on_message(msg);
+        worker_->on_message(msg);
       } else {
         const TimerFire& fire = std::get<TimerFire>(e);
-        worker_.on_timer(fire.kind, fire.gen);
+        worker_->on_timer(fire.kind, fire.gen);
       }
-      if (!alive_ || worker_.halted()) {
+      if (!alive_ || worker_->halted()) {
         pending_.clear();
         return;
       }
@@ -232,7 +271,9 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   SimCluster* cluster_;
   core::NodeId id_;
   support::Rng rng_;
-  core::BnbWorker worker_;
+  std::optional<core::BnbWorker> worker_;  // re-emplaced on revival
+  core::WorkerStats prior_stats_;          // spent by crashed incarnations
+  std::uint64_t epoch_ = 0;                // incarnation counter
 
   bool alive_ = true;
   bool started_ = false;
@@ -281,6 +322,20 @@ void SimCluster::join(core::NodeId id) {
   host->start(id == config_.root_holder);
 }
 
+void SimCluster::revive(core::NodeId id) {
+  WorkerHost* host = hosts_[id].get();
+  // Only a crashed, previously started worker can re-enter; a revive aimed
+  // at a live worker (its crash was skipped because it had already halted)
+  // is a no-op.
+  if (host->alive() || !host->started()) return;
+  host->revive();
+  host->rejoin_live_set();
+  // No membership update: the worker had started, so it joined, and crashed
+  // members are never removed from joined_ (failures are not detectable,
+  // Section 4) — peers still list it and their mail reaches the new
+  // incarnation.
+}
+
 void SimCluster::start() {
   // Crash injections. Crashing reduces the live population that must halt
   // for the run to be considered finished.
@@ -292,6 +347,10 @@ void SimCluster::start() {
       host->kill(kernel_.now());
       host->leave_live_set();
     });
+  }
+  for (const ReviveEvent& rejoin : config_.rejoins) {
+    FTBB_CHECK(rejoin.node < config_.workers);
+    kernel_.at(rejoin.time, [this, rejoin]() { revive(rejoin.node); });
   }
   for (core::NodeId id = 0; id < config_.workers; ++id) {
     const double when =
@@ -345,7 +404,8 @@ ClusterResult SimCluster::collect() {
   for (auto& host : hosts_) {
     host->finalize(end_time);
     const core::BnbWorker& w = host->worker();
-    res.workers.push_back(w.stats());
+    const core::WorkerStats merged = host->merged_stats();
+    res.workers.push_back(merged);
     res.crashed.push_back(!host->alive());
     res.incumbents.push_back(w.incumbent());
     if (host->alive()) {
@@ -362,11 +422,11 @@ ClusterResult SimCluster::collect() {
       res.final_table_bytes_total += w.table().encoded_bytes();
     }
     for (int k = 0; k < core::kCostKinds; ++k) {
-      res.total_time[k] += w.stats().time[k];
+      res.total_time[k] += merged.time[k];
     }
-    res.total_expanded += w.stats().expanded;
-    res.total_completions += w.stats().completions;
-    res.total_report_codes += w.stats().report_codes_sent;
+    res.total_expanded += merged.expanded;
+    res.total_completions += merged.completions;
+    res.total_report_codes += merged.report_codes_sent;
   }
   res.all_live_halted = live_total > 0 && live_halted == live_total;
   if (!res.all_live_halted) res.makespan = end_time;

@@ -39,6 +39,17 @@ struct CrashEvent {
   double time = 0.0;
 };
 
+/// A crashed worker re-entering the computation (Section 4's dynamic
+/// resource pool: processors "may join and leave at any time"). The revived
+/// worker is a fresh incarnation — empty pool, empty completion table, no
+/// incumbent — that re-enters the membership and acquires work through the
+/// normal load-balancing path. Messages and timers addressed to the dead
+/// incarnation are dropped (epoch-guarded), matching crash-stop semantics.
+struct ReviveEvent {
+  core::NodeId node = 0;
+  double time = 0.0;
+};
+
 struct ClusterConfig {
   std::uint32_t workers = 4;
   core::WorkerConfig worker;
@@ -47,6 +58,7 @@ struct ClusterConfig {
   double time_limit = 1e9;               // virtual seconds
   std::uint64_t event_limit = 200'000'000ULL;
   std::vector<CrashEvent> crashes;
+  std::vector<ReviveEvent> rejoins;
   std::vector<Partition> partitions;
   bool record_trace = false;
   double storage_sample_interval = 0.25; // virtual seconds between samples
@@ -122,6 +134,7 @@ class SimCluster {
 
   void start();
   void join(core::NodeId id);
+  void revive(core::NodeId id);
   void sample_storage();
   [[nodiscard]] bool finished() const;
   ClusterResult collect();

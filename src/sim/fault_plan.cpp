@@ -1,0 +1,205 @@
+#include "sim/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace ftbb::sim {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRejoin:
+      return "rejoin";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kChurn:
+      return "churn";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::crash(std::uint32_t node, double time) {
+  FTBB_CHECK(time >= 0.0);
+  crashes_.push_back(CrashSpec{node, time});
+  return *this;
+}
+
+FaultPlan& FaultPlan::rejoin(std::uint32_t node, double time) {
+  FTBB_CHECK(time >= 0.0);
+  rejoins_.push_back(RejoinSpec{node, time});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(double t0, double t1, std::vector<int> group_of) {
+  FTBB_CHECK_MSG(t1 > t0, "partition window must be non-empty");
+  partitions_.push_back(PartitionSpec{t0, t1, std::move(group_of)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::split_halves(double t0, double t1) {
+  FTBB_CHECK_MSG(t1 > t0, "partition window must be non-empty");
+  pending_halves_.push_back(partitions_.size());
+  partitions_.push_back(PartitionSpec{t0, t1, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::loss(double t0, double t1, double prob) {
+  FTBB_CHECK(prob >= 0.0 && prob <= 1.0);
+  FTBB_CHECK_MSG(t1 > t0, "loss window must be non-empty");
+  loss_rules_.push_back(
+      LossRule{t0, t1, prob, LossRule::kAnyNode, LossRule::kAnyNode});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_loss(std::uint32_t from, std::uint32_t to, double t0,
+                                double t1, double prob) {
+  FTBB_CHECK(prob >= 0.0 && prob <= 1.0);
+  FTBB_CHECK_MSG(t1 > t0, "loss window must be non-empty");
+  loss_rules_.push_back(LossRule{t0, t1, prob, static_cast<std::int32_t>(from),
+                                 static_cast<std::int32_t>(to)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::churn(std::uint32_t first_node, std::uint32_t count,
+                            double start, double period) {
+  FTBB_CHECK(start >= 0.0 && period >= 0.0);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    joins_.push_back(JoinSpec{first_node + i, start + period * i});
+  }
+  if (count > 0) churned_ = true;
+  return *this;
+}
+
+FaultPlan& FaultPlan::bounce(std::uint32_t node, double crash_time,
+                             double rejoin_time) {
+  FTBB_CHECK_MSG(rejoin_time > crash_time, "rejoin must follow the crash");
+  crash(node, crash_time);
+  rejoin(node, rejoin_time);
+  churned_ = true;
+  return *this;
+}
+
+bool FaultPlan::empty() const {
+  return crashes_.empty() && rejoins_.empty() && joins_.empty() &&
+         partitions_.empty() && loss_rules_.empty();
+}
+
+bool FaultPlan::has(FaultKind kind) const {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return !crashes_.empty();
+    case FaultKind::kRejoin:
+      return !rejoins_.empty();
+    case FaultKind::kPartition:
+      return !partitions_.empty();
+    case FaultKind::kLoss:
+      return !loss_rules_.empty();
+    case FaultKind::kChurn:
+      return churned_ || !joins_.empty();
+  }
+  return false;
+}
+
+int FaultPlan::distinct_fault_kinds() const {
+  int kinds = 0;
+  for (int k = 0; k < kFaultKinds; ++k) {
+    if (has(static_cast<FaultKind>(k))) ++kinds;
+  }
+  return kinds;
+}
+
+std::int64_t FaultPlan::max_node() const {
+  std::int64_t top = -1;
+  for (const CrashSpec& c : crashes_) top = std::max<std::int64_t>(top, c.node);
+  for (const RejoinSpec& r : rejoins_) top = std::max<std::int64_t>(top, r.node);
+  for (const JoinSpec& j : joins_) top = std::max<std::int64_t>(top, j.node);
+  for (const PartitionSpec& p : partitions_) {
+    top = std::max<std::int64_t>(
+        top, static_cast<std::int64_t>(p.group_of.size()) - 1);
+  }
+  for (const LossRule& rule : loss_rules_) {
+    top = std::max<std::int64_t>(top, rule.from);
+    top = std::max<std::int64_t>(top, rule.to);
+  }
+  return top;
+}
+
+void FaultPlan::for_workers(std::uint32_t workers) {
+  for (const std::size_t idx : pending_halves_) {
+    PartitionSpec& p = partitions_[idx];
+    if (!p.group_of.empty()) continue;  // already materialized
+    p.group_of.resize(workers);
+    for (std::uint32_t n = 0; n < workers; ++n) {
+      p.group_of[n] = n < workers / 2 ? 0 : 1;
+    }
+  }
+  pending_halves_.clear();
+  FTBB_CHECK_MSG(max_node() < static_cast<std::int64_t>(workers),
+                 "fault plan references a node outside the population");
+  for (const RejoinSpec& r : rejoins_) {
+    const bool preceded =
+        std::any_of(crashes_.begin(), crashes_.end(), [&r](const CrashSpec& c) {
+          return c.node == r.node && c.time < r.time;
+        });
+    FTBB_CHECK_MSG(preceded, "rejoin without a preceding crash of the node");
+  }
+}
+
+std::vector<FaultPlan::TimedFault> FaultPlan::timeline() const {
+  std::vector<TimedFault> events;
+  char buf[160];
+  for (const CrashSpec& c : crashes_) {
+    std::snprintf(buf, sizeof(buf), "node %u", c.node);
+    events.push_back({c.time, FaultKind::kCrash, buf});
+  }
+  for (const RejoinSpec& r : rejoins_) {
+    std::snprintf(buf, sizeof(buf), "node %u", r.node);
+    events.push_back({r.time, FaultKind::kRejoin, buf});
+  }
+  for (const JoinSpec& j : joins_) {
+    std::snprintf(buf, sizeof(buf), "node %u joins", j.node);
+    events.push_back({j.time, FaultKind::kChurn, buf});
+  }
+  for (const PartitionSpec& p : partitions_) {
+    if (p.group_of.empty()) {  // split_halves() awaiting for_workers()
+      std::snprintf(buf, sizeof(buf), "split in halves until t=%.3f", p.t1);
+    } else {
+      std::snprintf(buf, sizeof(buf), "split until t=%.3f (%zu nodes)", p.t1,
+                    p.group_of.size());
+    }
+    events.push_back({p.t0, FaultKind::kPartition, buf});
+  }
+  for (const LossRule& rule : loss_rules_) {
+    if (rule.from == LossRule::kAnyNode && rule.to == LossRule::kAnyNode) {
+      std::snprintf(buf, sizeof(buf), "%.0f%% all links until t=%.3f",
+                    rule.prob * 100.0, rule.t1);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.0f%% on %d->%d until t=%.3f",
+                    rule.prob * 100.0, rule.from, rule.to, rule.t1);
+    }
+    events.push_back({rule.t0, FaultKind::kLoss, buf});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TimedFault& a, const TimedFault& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  char buf[200];
+  for (const TimedFault& event : timeline()) {
+    std::snprintf(buf, sizeof(buf), "t=%.3f %s: %s\n", event.time,
+                  to_string(event.kind), event.detail.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ftbb::sim

@@ -1,0 +1,152 @@
+// Declarative fault schedules for scenario testing.
+//
+// A FaultPlan is a timed script of adversities — crashes, rejoins, network
+// partitions with heal times, windowed (optionally per-link) message loss,
+// and membership churn — expressed against protocol node ids and independent
+// of any backend. ScenarioRunner translates a plan into the primitives of
+// whichever harness executes it (the decentralized SimCluster, the
+// centralized manager/worker baseline, or the DIB baseline), so the same
+// adversarial schedule can be replayed against every algorithm.
+//
+// Plans are value types built fluently:
+//
+//   FaultPlan plan;
+//   plan.crash(1, 0.2)
+//       .rejoin(1, 1.5)
+//       .split_halves(0.5, 1.0)
+//       .loss(0.0, 2.0, 0.1)
+//       .churn(4, 3, 0.3, 0.2);
+//
+// Determinism contract: a plan contains no randomness of its own; all
+// nondeterminism stays inside the seeded simulation, so one (plan, seed)
+// pair always produces the same execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace ftbb::sim {
+
+enum class FaultKind : std::uint8_t {
+  kCrash = 0,
+  kRejoin = 1,
+  kPartition = 2,
+  kLoss = 3,
+  kChurn = 4,
+};
+constexpr int kFaultKinds = 5;
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+class FaultPlan {
+ public:
+  struct CrashSpec {
+    std::uint32_t node = 0;
+    double time = 0.0;
+  };
+  struct RejoinSpec {
+    std::uint32_t node = 0;
+    double time = 0.0;
+  };
+  struct JoinSpec {  // churn arrival: a member that enters late
+    std::uint32_t node = 0;
+    double time = 0.0;
+  };
+  struct PartitionSpec {
+    double t0 = 0.0;
+    double t1 = 0.0;
+    std::vector<int> group_of;  // group id per node
+  };
+
+  /// Crash-stop failure of `node` at `time` (state lost, silent forever
+  /// unless revived by a later rejoin()).
+  FaultPlan& crash(std::uint32_t node, double time);
+
+  /// The crashed `node` re-enters at `time` as a fresh, empty incarnation.
+  FaultPlan& rejoin(std::uint32_t node, double time);
+
+  /// During [t0, t1) only nodes sharing a group id can communicate; the
+  /// partition heals at t1.
+  FaultPlan& partition(double t0, double t1, std::vector<int> group_of);
+
+  /// Convenience: partitions nodes [0, workers) into two halves for
+  /// [t0, t1). Requires the runner to know the population size, so the
+  /// group vector is materialized by for_workers().
+  FaultPlan& split_halves(double t0, double t1);
+
+  /// All links lose messages with probability `prob` during [t0, t1),
+  /// on top of the base network loss rate.
+  FaultPlan& loss(double t0, double t1, double prob);
+
+  /// One directed link loses messages with probability `prob` during
+  /// [t0, t1) — a flaky cable rather than a lossy fabric.
+  FaultPlan& link_loss(std::uint32_t from, std::uint32_t to, double t0,
+                       double t1, double prob);
+
+  /// Membership churn: `count` extra members (ids first_node,
+  /// first_node+1, ...) join one `period` apart starting at `start`.
+  /// Models the paper's dynamically available resource pool.
+  FaultPlan& churn(std::uint32_t first_node, std::uint32_t count, double start,
+                   double period);
+
+  /// Crash `node` at `crash_time` and bring it back at `rejoin_time`:
+  /// the canonical bounce, counted as churn as well as crash+rejoin.
+  FaultPlan& bounce(std::uint32_t node, double crash_time, double rejoin_time);
+
+  // ---- queries (used by ScenarioRunner and tests) ----
+
+  [[nodiscard]] const std::vector<CrashSpec>& crashes() const { return crashes_; }
+  [[nodiscard]] const std::vector<RejoinSpec>& rejoins() const { return rejoins_; }
+  [[nodiscard]] const std::vector<JoinSpec>& joins() const { return joins_; }
+  [[nodiscard]] const std::vector<PartitionSpec>& partitions() const {
+    return partitions_;
+  }
+  [[nodiscard]] const std::vector<LossRule>& loss_rules() const {
+    return loss_rules_;
+  }
+
+  [[nodiscard]] bool empty() const;
+
+  /// Number of distinct fault categories this plan exercises.
+  [[nodiscard]] int distinct_fault_kinds() const;
+
+  [[nodiscard]] bool has(FaultKind kind) const;
+
+  /// Highest node id referenced anywhere in the plan, or -1 when none.
+  [[nodiscard]] std::int64_t max_node() const;
+
+  /// Validates the plan against a population of `workers` nodes (including
+  /// churn arrivals) and materializes split_halves() partitions into
+  /// explicit group vectors. Aborts via FTBB_CHECK on out-of-range nodes,
+  /// empty windows, or a rejoin with no preceding crash.
+  void for_workers(std::uint32_t workers);
+
+  /// One scheduled adversity, rendered for humans and reports alike.
+  struct TimedFault {
+    double time = 0.0;
+    FaultKind kind = FaultKind::kCrash;
+    std::string detail;
+  };
+
+  /// The canonical, time-ordered enumeration of every event in the plan.
+  /// describe() and ScenarioReport timelines are both built from this, so
+  /// a new fault kind only needs rendering in one place.
+  [[nodiscard]] std::vector<TimedFault> timeline() const;
+
+  /// Human-readable schedule, one event per line, time-ordered.
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  std::vector<CrashSpec> crashes_;
+  std::vector<RejoinSpec> rejoins_;
+  std::vector<JoinSpec> joins_;
+  std::vector<PartitionSpec> partitions_;
+  std::vector<LossRule> loss_rules_;
+  std::vector<std::size_t> pending_halves_;  // partition indices to fill in
+  bool churned_ = false;
+};
+
+}  // namespace ftbb::sim

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "sim/kernel.hpp"
@@ -18,11 +19,26 @@
 
 namespace ftbb::sim {
 
+/// A time-windowed loss burst: during [t0, t1) matching messages are lost
+/// with probability `prob`, independently of the base loss rate. A rule with
+/// from/to = kAnyNode applies to every link; otherwise it matches one
+/// directed link. Models correlated loss episodes (congested or flaky links)
+/// on top of the paper's i.i.d. assumption.
+struct LossRule {
+  static constexpr std::int32_t kAnyNode = -1;
+  double t0 = 0.0;
+  double t1 = std::numeric_limits<double>::infinity();
+  double prob = 0.0;
+  std::int32_t from = kAnyNode;
+  std::int32_t to = kAnyNode;
+};
+
 struct NetConfig {
   double latency_fixed = 1.5e-3;    // seconds (paper: 1.5 ms)
   double latency_per_byte = 5e-6;   // seconds/byte (paper: 0.005 ms/B)
   double jitter_frac = 0.0;         // latency *= U(1-j, 1+j)
   double loss_prob = 0.0;           // i.i.d. message loss
+  std::vector<LossRule> loss_rules; // additional windowed / per-link loss
 };
 
 /// A temporary partition: during [t0, t1) only endpoints in the same group
@@ -61,7 +77,8 @@ class Network {
       ++stats_.messages_partitioned;
       return false;
     }
-    if (config_.loss_prob > 0.0 && rng_.chance(config_.loss_prob)) {
+    const double p = loss_probability(from, to, departure);
+    if (p > 0.0 && rng_.chance(p)) {
       ++stats_.messages_lost;
       return false;
     }
@@ -82,6 +99,28 @@ class Network {
   [[nodiscard]] const NetConfig& config() const { return config_; }
 
  private:
+  /// Combined loss probability for one transmission: the base rate and every
+  /// matching active rule act as independent loss sources, so survival
+  /// probabilities multiply. Exactly one RNG draw is consumed per at-risk
+  /// message regardless of how many rules match, keeping runs reproducible.
+  [[nodiscard]] double loss_probability(std::uint32_t from, std::uint32_t to,
+                                        double t) const {
+    double survive = 1.0 - config_.loss_prob;
+    for (const LossRule& rule : config_.loss_rules) {
+      if (t < rule.t0 || t >= rule.t1) continue;
+      if (rule.from != LossRule::kAnyNode &&
+          rule.from != static_cast<std::int32_t>(from)) {
+        continue;
+      }
+      if (rule.to != LossRule::kAnyNode &&
+          rule.to != static_cast<std::int32_t>(to)) {
+        continue;
+      }
+      survive *= 1.0 - rule.prob;
+    }
+    return 1.0 - survive;
+  }
+
   [[nodiscard]] bool blocked_by_partition(std::uint32_t from, std::uint32_t to,
                                           double t) const {
     for (const Partition& p : partitions_) {

@@ -1,0 +1,420 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "bnb/basic_tree.hpp"
+#include "bnb/knapsack.hpp"
+#include "bnb/partition.hpp"
+#include "bnb/vertex_cover.hpp"
+#include "support/check.hpp"
+
+namespace ftbb::sim {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fingerprint: FNV-1a 64 over a canonical byte stream of the report
+// ---------------------------------------------------------------------------
+
+class Fnv {
+ public:
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void b(bool v) { u64(v ? 1 : 0); }
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+/// Protocol population of a scenario: the initial workers plus every node
+/// the fault plan references (churn arrivals extend the population).
+std::uint32_t population_of(const ScenarioSpec& spec) {
+  const std::int64_t top = spec.faults.max_node();
+  return std::max<std::uint32_t>(
+      spec.workers, top < 0 ? 0 : static_cast<std::uint32_t>(top) + 1);
+}
+
+std::vector<ScenarioEvent> plan_timeline(const FaultPlan& plan) {
+  std::vector<ScenarioEvent> events;
+  for (FaultPlan::TimedFault& event : plan.timeline()) {
+    events.push_back(
+        ScenarioEvent{event.time, event.kind, std::move(event.detail)});
+  }
+  return events;
+}
+
+/// Per-protocol-node join times (0 = from the start), or empty when
+/// everyone starts at t=0. Node 0 hosts the root and must join at 0.
+std::vector<double> join_times_of(const ScenarioSpec& spec,
+                                  std::uint32_t population) {
+  if (spec.faults.joins().empty()) return {};
+  std::vector<double> times(population, 0.0);
+  std::vector<bool> has_join(population, false);
+  for (const FaultPlan::JoinSpec& j : spec.faults.joins()) {
+    times[j.node] = j.time;
+    has_join[j.node] = true;
+  }
+  FTBB_CHECK_MSG(!has_join[0] || times[0] == 0.0,
+                 "node 0 seeds the computation and must join at time 0");
+  for (std::uint32_t n = spec.workers; n < population; ++n) {
+    FTBB_CHECK_MSG(has_join[n],
+                   "churn node beyond the initial population needs a join time");
+  }
+  return times;
+}
+
+void fill_common(ScenarioReport& report, const ScenarioSpec& spec,
+                 const FaultPlan& plan, std::uint32_t population,
+                 const Workload& workload) {
+  report.scenario = spec.name;
+  report.backend = to_string(spec.backend);
+  report.workload = workload.name;
+  report.workers = population;
+  report.seed = spec.seed;
+  report.timeline = plan_timeline(plan);
+  if (const auto opt = workload.model->known_optimal()) {
+    report.optimum_known = true;
+    report.optimum = *opt;
+  }
+}
+
+void fill_net(ScenarioReport& report, const Network::Stats& net) {
+  report.messages_sent = net.messages_sent;
+  report.messages_delivered = net.messages_delivered;
+  report.messages_lost = net.messages_lost;
+  report.messages_partitioned = net.messages_partitioned;
+  report.bytes_sent = net.bytes_sent;
+  report.bytes_delivered = net.bytes_delivered;
+}
+
+void finish(ScenarioReport& report) {
+  report.optimum_matched = report.completed && report.solution_found &&
+                           report.optimum_known &&
+                           report.solution == report.optimum;
+}
+
+ScenarioReport run_ftbb(const ScenarioSpec& spec, const FaultPlan& plan,
+                        std::uint32_t population, const Workload& workload) {
+  ClusterConfig cfg;
+  cfg.workers = population;
+  cfg.worker = spec.worker;
+  cfg.net = spec.net;
+  for (const LossRule& rule : plan.loss_rules()) {
+    cfg.net.loss_rules.push_back(rule);
+  }
+  cfg.seed = spec.seed;
+  cfg.time_limit = spec.time_limit;
+  for (const FaultPlan::CrashSpec& c : plan.crashes()) {
+    cfg.crashes.push_back(CrashEvent{c.node, c.time});
+  }
+  for (const FaultPlan::RejoinSpec& r : plan.rejoins()) {
+    cfg.rejoins.push_back(ReviveEvent{r.node, r.time});
+  }
+  for (const FaultPlan::PartitionSpec& p : plan.partitions()) {
+    cfg.partitions.push_back(Partition{p.t0, p.t1, p.group_of});
+  }
+  cfg.join_times = join_times_of(spec, population);
+
+  const ClusterResult res = SimCluster::run(*workload.model, cfg);
+
+  ScenarioReport report;
+  fill_common(report, spec, plan, population, workload);
+  report.completed = res.all_live_halted;
+  report.solution_found = res.solution_found;
+  report.solution = res.solution_found ? res.solution : 0.0;
+  report.makespan = res.makespan;
+  report.total_expanded = res.total_expanded;
+  report.unique_expanded = res.unique_expanded;
+  report.redundant_expansions = res.redundant_expansions;
+  report.redundant_cost = res.redundant_cost;
+  fill_net(report, res.net);
+  finish(report);
+  return report;
+}
+
+ScenarioReport run_central(const ScenarioSpec& spec, const FaultPlan& plan,
+                           std::uint32_t population, const Workload& workload) {
+  // Network ids shift by one: node 0 is the manager, protocol node i is
+  // worker i+1. The manager shares a partition group with protocol node 0.
+  central::CentralFaults faults;
+  for (const FaultPlan::CrashSpec& c : plan.crashes()) {
+    faults.crashes.push_back(central::CentralCrash{c.node + 1, c.time});
+  }
+  for (const FaultPlan::RejoinSpec& r : plan.rejoins()) {
+    faults.rejoins.push_back(central::CentralCrash{r.node + 1, r.time});
+  }
+  for (const FaultPlan::PartitionSpec& p : plan.partitions()) {
+    Partition shifted;
+    shifted.t0 = p.t0;
+    shifted.t1 = p.t1;
+    shifted.group_of.resize(p.group_of.size() + 1);
+    shifted.group_of[0] = p.group_of.empty() ? 0 : p.group_of[0];
+    for (std::size_t i = 0; i < p.group_of.size(); ++i) {
+      shifted.group_of[i + 1] = p.group_of[i];
+    }
+    faults.partitions.push_back(std::move(shifted));
+  }
+  if (!spec.faults.joins().empty()) {
+    faults.worker_join_times = join_times_of(spec, population);
+  }
+  NetConfig net = spec.net;
+  for (LossRule rule : plan.loss_rules()) {
+    if (rule.from != LossRule::kAnyNode) ++rule.from;
+    if (rule.to != LossRule::kAnyNode) ++rule.to;
+    net.loss_rules.push_back(rule);
+  }
+
+  const central::CentralResult res =
+      central::CentralSim::run_with_faults(*workload.model, population,
+                                           spec.central, net, faults,
+                                           spec.time_limit, spec.seed);
+
+  ScenarioReport report;
+  fill_common(report, spec, plan, population, workload);
+  report.completed = res.completed;
+  report.solution_found = res.solution_found;
+  report.solution = res.solution_found ? res.solution : 0.0;
+  report.makespan = res.makespan;
+  report.total_expanded = res.total_expanded;
+  report.unique_expanded = res.unique_expanded;
+  report.redundant_expansions = res.redundant_expansions;
+  fill_net(report, res.net);
+  finish(report);
+  return report;
+}
+
+ScenarioReport run_dib(const ScenarioSpec& spec, const FaultPlan& plan,
+                       std::uint32_t population, const Workload& workload) {
+  dib::DibFaults faults;
+  for (const FaultPlan::CrashSpec& c : plan.crashes()) {
+    faults.crashes.push_back(dib::DibCrash{c.node, c.time});
+  }
+  for (const FaultPlan::RejoinSpec& r : plan.rejoins()) {
+    faults.rejoins.push_back(dib::DibCrash{r.node, r.time});
+  }
+  for (const FaultPlan::PartitionSpec& p : plan.partitions()) {
+    faults.partitions.push_back(Partition{p.t0, p.t1, p.group_of});
+  }
+  if (!spec.faults.joins().empty()) {
+    faults.join_times = join_times_of(spec, population);
+  }
+  NetConfig net = spec.net;
+  for (const LossRule& rule : plan.loss_rules()) net.loss_rules.push_back(rule);
+
+  const dib::DibResult res =
+      dib::DibSim::run_with_faults(*workload.model, population, spec.dib, net,
+                                   faults, spec.time_limit, spec.seed);
+
+  ScenarioReport report;
+  fill_common(report, spec, plan, population, workload);
+  report.completed = res.completed;
+  report.solution_found = res.solution_found;
+  report.solution = res.solution_found ? res.solution : 0.0;
+  report.makespan = res.makespan;
+  report.total_expanded = res.total_expanded;
+  report.unique_expanded = res.unique_expanded;
+  report.redundant_expansions = res.redundant_expansions;
+  fill_net(report, res.net);
+  finish(report);
+  return report;
+}
+
+}  // namespace
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kFtbb:
+      return "ftbb";
+    case Backend::kCentral:
+      return "central";
+    case Backend::kDib:
+      return "dib";
+  }
+  return "?";
+}
+
+const char* to_string(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kKnapsack:
+      return "knapsack";
+    case WorkloadKind::kVertexCover:
+      return "vertex-cover";
+    case WorkloadKind::kNumberPartition:
+      return "number-partition";
+    case WorkloadKind::kSyntheticTree:
+      return "synthetic-tree";
+  }
+  return "?";
+}
+
+Workload build_workload(const WorkloadSpec& spec) {
+  Workload w;
+  w.name = to_string(spec.kind);
+  bnb::NodeCostModel cost;
+  cost.mean = spec.cost_mean;
+  cost.cv = spec.cost_cv;
+  cost.seed = spec.seed;
+  switch (spec.kind) {
+    case WorkloadKind::kKnapsack: {
+      auto inst = bnb::KnapsackInstance::strongly_correlated(spec.size, 50, 0.5,
+                                                             spec.seed);
+      w.model = std::make_unique<bnb::KnapsackModel>(std::move(inst), cost);
+      break;
+    }
+    case WorkloadKind::kVertexCover: {
+      bnb::Graph g = bnb::Graph::gnp(spec.size, 0.3, spec.seed);
+      w.model = std::make_unique<bnb::VertexCoverModel>(std::move(g), cost);
+      break;
+    }
+    case WorkloadKind::kNumberPartition: {
+      auto inst = bnb::PartitionInstance::random(spec.size, 40, spec.seed);
+      w.model = std::make_unique<bnb::PartitionModel>(std::move(inst), cost);
+      break;
+    }
+    case WorkloadKind::kSyntheticTree: {
+      bnb::RandomTreeConfig cfg;
+      cfg.target_nodes = spec.size;
+      cfg.cost_mean = spec.cost_mean;
+      cfg.cost_cv = spec.cost_cv;
+      cfg.seed = spec.seed;
+      auto tree = std::make_shared<bnb::BasicTree>(bnb::BasicTree::random(cfg));
+      w.model = std::make_unique<bnb::TreeProblem>(tree.get());
+      w.storage = tree;
+      break;
+    }
+  }
+  FTBB_CHECK(w.model != nullptr);
+  return w;
+}
+
+void ScenarioSpec::tune_for_small_problems() {
+  worker.report_batch = 4;
+  worker.report_flush_interval = 0.05;
+  worker.report_fanout = 2;
+  worker.table_gossip_interval = 0.2;
+  worker.work_request_timeout = 0.02;
+  worker.idle_backoff = 0.005;
+  worker.initial_stagger = 0.002;
+  worker.attempts_before_recovery = 3;
+
+  central.batch_size = 4;
+  central.reissue_timeout = 0.2;
+  central.audit_interval = 0.1;
+
+  dib.work_request_timeout = 0.02;
+  dib.request_backoff = 0.01;
+  dib.audit_interval = 0.1;
+  dib.donation_timeout = 0.5;
+}
+
+std::uint64_t ScenarioReport::fingerprint() const {
+  Fnv fnv;
+  fnv.str(scenario);
+  fnv.str(backend);
+  fnv.str(workload);
+  fnv.u64(workers);
+  fnv.u64(seed);
+  fnv.b(completed);
+  fnv.b(solution_found);
+  fnv.f64(solution);
+  fnv.b(optimum_known);
+  fnv.f64(optimum);
+  fnv.b(optimum_matched);
+  fnv.f64(makespan);
+  fnv.u64(total_expanded);
+  fnv.u64(unique_expanded);
+  fnv.u64(redundant_expansions);
+  fnv.f64(redundant_cost);
+  fnv.u64(messages_sent);
+  fnv.u64(messages_delivered);
+  fnv.u64(messages_lost);
+  fnv.u64(messages_partitioned);
+  fnv.u64(bytes_sent);
+  fnv.u64(bytes_delivered);
+  fnv.u64(timeline.size());
+  for (const ScenarioEvent& e : timeline) {
+    fnv.f64(e.time);
+    fnv.u64(static_cast<std::uint64_t>(e.kind));
+    fnv.str(e.detail);
+  }
+  return fnv.value();
+}
+
+std::string ScenarioReport::to_string() const {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "scenario %s: %s on %s, %u workers, seed %llu\n",
+                scenario.c_str(), backend.c_str(), workload.c_str(), workers,
+                static_cast<unsigned long long>(seed));
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  outcome: %s, solution %s (%.6g%s), makespan %.3fs\n",
+                completed ? "completed" : "DID NOT COMPLETE",
+                solution_found ? "found" : "none", solution,
+                optimum_known ? (optimum_matched ? ", optimal" : ", SUBOPTIMAL")
+                              : "",
+                makespan);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  work: %llu expanded, %llu unique, %llu redone (%.3fs)\n",
+                static_cast<unsigned long long>(total_expanded),
+                static_cast<unsigned long long>(unique_expanded),
+                static_cast<unsigned long long>(redundant_expansions),
+                redundant_cost);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  net: %llu msgs sent, %llu delivered, %llu lost, %llu "
+                "partitioned, %llu bytes\n",
+                static_cast<unsigned long long>(messages_sent),
+                static_cast<unsigned long long>(messages_delivered),
+                static_cast<unsigned long long>(messages_lost),
+                static_cast<unsigned long long>(messages_partitioned),
+                static_cast<unsigned long long>(bytes_sent));
+  out += buf;
+  for (const ScenarioEvent& e : timeline) {
+    std::snprintf(buf, sizeof(buf), "  t=%.3f %s: %s\n", e.time,
+                  sim::to_string(e.kind), e.detail.c_str());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  fingerprint: %016llx\n",
+                static_cast<unsigned long long>(fingerprint()));
+  out += buf;
+  return out;
+}
+
+ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) {
+  const std::uint32_t population = population_of(spec);
+  FaultPlan plan = spec.faults;
+  plan.for_workers(population);
+  Workload workload = build_workload(spec.workload);
+  switch (spec.backend) {
+    case Backend::kCentral:
+      return run_central(spec, plan, population, workload);
+    case Backend::kDib:
+      return run_dib(spec, plan, population, workload);
+    case Backend::kFtbb:
+      break;
+  }
+  return run_ftbb(spec, plan, population, workload);
+}
+
+}  // namespace ftbb::sim

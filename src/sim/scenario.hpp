@@ -1,0 +1,149 @@
+// Declarative scenario engine: one spec = workload + cluster + fault plan.
+//
+// ScenarioRunner is the single entry point the test suite, the benches, and
+// the CLI use to drive an end-to-end run under adversity: it builds the
+// requested workload (knapsack / vertex cover / number partition / synthetic
+// basic tree), translates a backend-neutral FaultPlan into the primitives of
+// the chosen backend (the paper's decentralized protocol, the centralized
+// manager/worker baseline, or the DIB baseline), runs the simulation to
+// termination, and emits a structured ScenarioReport.
+//
+// Reproducibility contract: everything in the spec is deterministic, so the
+// same spec (including its seed) produces a bit-identical report —
+// report.fingerprint() turns any fault schedule into a regression artifact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bnb/problem.hpp"
+#include "central/central.hpp"
+#include "core/worker.hpp"
+#include "dib/dib.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fault_plan.hpp"
+#include "sim/network.hpp"
+
+namespace ftbb::sim {
+
+enum class Backend : std::uint8_t {
+  kFtbb = 0,     // the paper's decentralized fault-tolerant protocol
+  kCentral = 1,  // centralized manager/worker baseline (Section 3)
+  kDib = 2,      // Finkel & Manber's DIB baseline (Section 3)
+};
+
+[[nodiscard]] const char* to_string(Backend backend);
+
+enum class WorkloadKind : std::uint8_t {
+  kKnapsack = 0,
+  kVertexCover = 1,
+  kNumberPartition = 2,
+  kSyntheticTree = 3,
+};
+
+[[nodiscard]] const char* to_string(WorkloadKind kind);
+
+/// Deterministic workload recipe; `size` is items / vertices / values /
+/// tree nodes depending on the kind. Every kind with a known optimum
+/// (everything except large synthetic trees — and those know theirs too)
+/// lets reports verify the computed solution.
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kSyntheticTree;
+  std::uint32_t size = 401;
+  std::uint64_t seed = 1;
+  double cost_mean = 1e-3;  // virtual seconds per node expansion
+  double cost_cv = 0.3;
+};
+
+/// A built workload: the model plus whatever storage must outlive it.
+struct Workload {
+  std::unique_ptr<bnb::IProblemModel> model;
+  std::shared_ptr<void> storage;  // e.g. the BasicTree behind a TreeProblem
+  std::string name;
+};
+
+/// Materializes a WorkloadSpec. Exposed for tests that want the model
+/// without going through a full scenario run.
+[[nodiscard]] Workload build_workload(const WorkloadSpec& spec);
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  Backend backend = Backend::kFtbb;
+  WorkloadSpec workload;
+  std::uint32_t workers = 4;  // initial population (churn can add more)
+  std::uint64_t seed = 1;
+  double time_limit = 600.0;  // virtual seconds
+  NetConfig net;
+  FaultPlan faults;
+
+  core::WorkerConfig worker;       // kFtbb tuning
+  central::CentralConfig central;  // kCentral tuning
+  dib::DibConfig dib;              // kDib tuning
+
+  /// Preset worker tuning for small/fast test problems (tight timeouts
+  /// matched to millisecond-scale node costs).
+  void tune_for_small_problems();
+};
+
+/// One entry of the report's fault/outcome timeline.
+struct ScenarioEvent {
+  double time = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+  std::string detail;
+
+  friend bool operator==(const ScenarioEvent&, const ScenarioEvent&) = default;
+};
+
+struct ScenarioReport {
+  std::string scenario;
+  std::string backend;
+  std::string workload;
+  std::uint32_t workers = 0;  // total population including churn arrivals
+  std::uint64_t seed = 0;
+
+  // -- outcome --
+  bool completed = false;  // termination detected / computation concluded
+  bool solution_found = false;
+  double solution = 0.0;
+  bool optimum_known = false;
+  double optimum = 0.0;
+  bool optimum_matched = false;
+  double makespan = 0.0;
+
+  // -- work lost / redone --
+  std::uint64_t total_expanded = 0;
+  std::uint64_t unique_expanded = 0;
+  std::uint64_t redundant_expansions = 0;
+  double redundant_cost = 0.0;  // virtual seconds of re-expansion (kFtbb)
+
+  // -- bytes gossiped / network --
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t messages_partitioned = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+
+  // -- fault schedule, time-ordered --
+  std::vector<ScenarioEvent> timeline;
+
+  /// FNV-1a over every field above (doubles by bit pattern): two reports
+  /// are byte-equivalent iff their fingerprints match, so a single integer
+  /// per (scenario, seed) is a regression artifact.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string to_string() const;
+};
+
+class ScenarioRunner {
+ public:
+  /// Builds the workload, translates the fault plan, runs the backend to
+  /// termination (or the time limit), and reports.
+  static ScenarioReport run(const ScenarioSpec& spec);
+};
+
+}  // namespace ftbb::sim

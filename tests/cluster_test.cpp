@@ -188,6 +188,37 @@ TEST(Cluster, SurvivesCrashOfHalfTheWorkers) {
   EXPECT_GE(res.makespan, baseline.makespan);  // recovery costs time, never correctness
 }
 
+TEST(Cluster, CrashedWorkerRejoinsAsFreshIncarnationAndHalts) {
+  const BasicTree tree = test_tree(9);
+  TreeProblem problem(&tree);
+  const ClusterResult baseline = SimCluster::run(problem, base_config(4, 9));
+  ASSERT_TRUE(baseline.all_live_halted);
+  ClusterConfig cfg = base_config(4, 9);
+  cfg.crashes = {{1, baseline.makespan * 0.3}};
+  cfg.rejoins = {{1, baseline.makespan * 0.6}};
+  const ClusterResult res = SimCluster::run(problem, cfg);
+  expect_solved(res, tree.optimal_value());
+  // The revived worker ends the run live and halted, with the exact optimum
+  // (every live worker that detects termination holds the global optimum).
+  EXPECT_FALSE(res.crashed[1]);
+  EXPECT_DOUBLE_EQ(res.incumbents[1], tree.optimal_value());
+  // Its reported stats fold in the crashed incarnation's spent time.
+  EXPECT_GT(res.workers[1].busy_total(), 0.0);
+}
+
+TEST(Cluster, RejoinAimedAtLiveWorkerIsIgnored) {
+  const BasicTree tree = test_tree(9, 301);
+  TreeProblem problem(&tree);
+  ClusterConfig cfg = base_config(3, 9);
+  // The crash is scheduled far past termination, so it never happens; the
+  // rejoin must then be a no-op rather than double-starting the worker.
+  cfg.crashes = {{1, 200.0}};
+  cfg.rejoins = {{1, 250.0}};
+  const ClusterResult res = SimCluster::run(problem, cfg);
+  expect_solved(res, tree.optimal_value());
+  EXPECT_FALSE(res.crashed[1]);
+}
+
 TEST(Cluster, Figure6AllButOneCrashNearTheEnd) {
   // The paper's Figure 6: two of three processors crash at ~85% of the
   // execution; the survivor recovers the lost work and terminates.

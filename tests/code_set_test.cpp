@@ -373,6 +373,73 @@ TEST_P(CodeSetPropertyTest, MergingPartialTablesEqualsDirectInsert) {
   merged.check_invariants();
 }
 
+TEST_P(CodeSetPropertyTest, ComplementUnionExportTilesTreeAndDrivesRootComplete) {
+  const std::uint64_t seed = GetParam();
+  RandomTreeConfig cfg;
+  cfg.target_nodes = 301;
+  cfg.seed = seed + 3000;
+  const BasicTree tree = BasicTree::random(cfg);
+  std::vector<std::pair<PathCode, std::int32_t>> nodes;
+  collect_codes(tree, 0, PathCode::root(), nodes);
+  std::vector<std::size_t> leaf_indices;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (tree.node(static_cast<std::size_t>(nodes[i].second)).is_leaf()) {
+      leaf_indices.push_back(i);
+    }
+  }
+
+  support::Rng rng(seed * 31 + 11);
+  CodeSet set;
+  // Random completed subset (possibly empty, possibly everything).
+  const std::size_t to_complete = rng.pick(leaf_indices.size() + 1);
+  const auto picks =
+      rng.sample_without_replacement(leaf_indices.size(), to_complete);
+  for (const std::size_t pick : picks) {
+    set.insert(nodes[leaf_indices[pick]].first);
+  }
+  set.check_invariants();
+
+  const std::vector<PathCode> exported = set.export_codes();
+  const std::vector<PathCode> complement = set.complement();
+
+  // The two lists are disjoint region sets: no code of one lies inside a
+  // region of the other.
+  for (const PathCode& e : exported) {
+    for (const PathCode& c : complement) {
+      EXPECT_FALSE(e.contains(c)) << e.to_string() << " vs " << c.to_string();
+      EXPECT_FALSE(c.contains(e)) << c.to_string() << " vs " << e.to_string();
+    }
+  }
+
+  // Exact tiling: every leaf of the underlying tree lies in exactly one
+  // region of export ∪ complement.
+  std::vector<PathCode> regions = exported;
+  regions.insert(regions.end(), complement.begin(), complement.end());
+  for (const std::size_t i : leaf_indices) {
+    const PathCode& leaf = nodes[i].first;
+    int covering = 0;
+    for (const PathCode& region : regions) {
+      if (region.contains(leaf)) ++covering;
+    }
+    EXPECT_EQ(covering, 1) << leaf.to_string();
+  }
+
+  // Failure recovery closes the computation: handing the complement regions
+  // back as completions (what re-execution eventually reports) contracts the
+  // table to the root.
+  CodeSet recovered = set;
+  recovered.insert_all(complement);
+  EXPECT_TRUE(recovered.root_complete());
+  recovered.check_invariants();
+
+  // And a cold restart from the two exported lists alone rebuilds a
+  // root-complete table (self-containment of codes).
+  CodeSet rebuilt;
+  rebuilt.insert_all(exported);
+  rebuilt.insert_all(complement);
+  EXPECT_TRUE(rebuilt.root_complete());
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, CodeSetPropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
 

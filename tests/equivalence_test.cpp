@@ -1,0 +1,78 @@
+// Cross-backend equivalence: the decentralized protocol, the centralized
+// manager/worker baseline, and the DIB baseline are different algorithms
+// with different fault-tolerance machinery, but on the same instance they
+// must agree on one thing — the optimal objective — even while a lossy,
+// crash-laden FaultPlan is running. (Work counts, makespans, and message
+// traffic legitimately differ; the optimum is the invariant.)
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace ftbb::sim {
+namespace {
+
+constexpr Backend kBackends[] = {Backend::kFtbb, Backend::kCentral,
+                                 Backend::kDib};
+
+ScenarioSpec adversarial_spec(WorkloadKind kind, std::uint32_t size,
+                              std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "equivalence";
+  spec.seed = seed;
+  spec.workers = 4;
+  spec.time_limit = 300.0;
+  spec.workload.kind = kind;
+  spec.workload.size = size;
+  spec.workload.seed = seed;
+  spec.workload.cost_mean = 2e-3;
+  spec.tune_for_small_problems();
+  // The shared adversity: steady 8% loss, a mid-run crash, and a burst of
+  // heavy loss on one link.
+  spec.faults.loss(0.0, 1e9, 0.08);
+  spec.faults.crash(2, 0.06);
+  spec.faults.link_loss(0, 1, 0.1, 0.4, 0.5);
+  return spec;
+}
+
+void expect_equivalent(WorkloadKind kind, std::uint32_t size,
+                       std::uint64_t seed) {
+  double solution = 0.0;
+  bool first = true;
+  for (const Backend backend : kBackends) {
+    ScenarioSpec spec = adversarial_spec(kind, size, seed);
+    spec.backend = backend;
+    const ScenarioReport report = ScenarioRunner::run(spec);
+    ASSERT_TRUE(report.completed) << report.to_string();
+    ASSERT_TRUE(report.solution_found) << report.to_string();
+    ASSERT_TRUE(report.optimum_known);
+    EXPECT_TRUE(report.optimum_matched) << report.to_string();
+    if (first) {
+      solution = report.solution;
+      first = false;
+    } else {
+      EXPECT_DOUBLE_EQ(report.solution, solution)
+          << to_string(backend) << " disagrees: " << report.to_string();
+    }
+  }
+}
+
+TEST(Equivalence, KnapsackUnderLossyPlan) {
+  expect_equivalent(WorkloadKind::kKnapsack, 12, 7);
+  expect_equivalent(WorkloadKind::kKnapsack, 14, 8);
+}
+
+TEST(Equivalence, VertexCoverUnderLossyPlan) {
+  expect_equivalent(WorkloadKind::kVertexCover, 10, 9);
+  expect_equivalent(WorkloadKind::kVertexCover, 12, 10);
+}
+
+TEST(Equivalence, NumberPartitionUnderLossyPlan) {
+  expect_equivalent(WorkloadKind::kNumberPartition, 10, 11);
+}
+
+TEST(Equivalence, SyntheticTreeUnderLossyPlan) {
+  expect_equivalent(WorkloadKind::kSyntheticTree, 401, 12);
+}
+
+}  // namespace
+}  // namespace ftbb::sim

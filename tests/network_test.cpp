@@ -94,6 +94,47 @@ TEST(Network, PartitionBlocksCrossGroupOnly) {
   EXPECT_EQ(net.stats().messages_partitioned, 1u);
 }
 
+TEST(Network, LossRuleAppliesOnlyInsideItsWindow) {
+  Kernel k;
+  NetConfig cfg;
+  cfg.loss_rules.push_back(LossRule{1.0, 2.0, 1.0});  // everything, 100%
+  Network net(&k, cfg, support::Rng(3));
+  int delivered = 0;
+  EXPECT_TRUE(net.send(0, 1, 0, 0.5, [&] { ++delivered; }));   // before
+  EXPECT_FALSE(net.send(0, 1, 0, 1.5, [&] { ++delivered; }));  // inside
+  EXPECT_TRUE(net.send(0, 1, 0, 2.5, [&] { ++delivered; }));   // after
+  k.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.stats().messages_lost, 1u);
+}
+
+TEST(Network, PerLinkLossRuleSparesOtherLinks) {
+  Kernel k;
+  NetConfig cfg;
+  cfg.loss_rules.push_back(LossRule{0.0, 10.0, 1.0, /*from=*/0, /*to=*/1});
+  Network net(&k, cfg, support::Rng(3));
+  int delivered = 0;
+  EXPECT_FALSE(net.send(0, 1, 0, 1.0, [&] { ++delivered; }));  // the bad link
+  EXPECT_TRUE(net.send(1, 0, 0, 1.0, [&] { ++delivered; }));   // reverse is fine
+  EXPECT_TRUE(net.send(0, 2, 0, 1.0, [&] { ++delivered; }));   // other target
+  k.run();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(Network, OverlappingLossSourcesCombineIndependently) {
+  Kernel k;
+  NetConfig cfg;
+  cfg.loss_prob = 0.5;
+  cfg.loss_rules.push_back(LossRule{0.0, 10.0, 0.5});
+  Network net(&k, cfg, support::Rng(17));
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) net.send(0, 1, 1, 1.0, [&] { ++delivered; });
+  k.run();
+  // Survival = (1-0.5)*(1-0.5) = 0.25.
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.25, 0.02);
+}
+
 TEST(Network, StatsCountBytes) {
   Kernel k;
   Network net(&k, NetConfig{}, support::Rng(1));

@@ -1,0 +1,191 @@
+// Tests of the declarative scenario engine: every protocol path — crash,
+// rejoin, partition + heal, message loss, membership churn — driven through
+// ScenarioRunner on all three backends, with bit-reproducible reports.
+#include <gtest/gtest.h>
+
+#include "sim/scenario.hpp"
+
+namespace ftbb::sim {
+namespace {
+
+ScenarioSpec base_spec(const std::string& name, Backend backend,
+                       std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.backend = backend;
+  spec.seed = seed;
+  spec.workers = 4;
+  spec.time_limit = 300.0;
+  spec.workload.kind = WorkloadKind::kSyntheticTree;
+  spec.workload.size = 601;
+  spec.workload.seed = seed;
+  spec.workload.cost_mean = 2e-3;
+  spec.tune_for_small_problems();
+  return spec;
+}
+
+void expect_solved(const ScenarioReport& report) {
+  EXPECT_TRUE(report.completed) << report.to_string();
+  ASSERT_TRUE(report.solution_found) << report.to_string();
+  ASSERT_TRUE(report.optimum_known);
+  EXPECT_TRUE(report.optimum_matched) << report.to_string();
+  EXPECT_DOUBLE_EQ(report.solution, report.optimum);
+}
+
+/// The same spec must reproduce the identical report, bit for bit.
+void expect_reproducible(const ScenarioSpec& spec, const ScenarioReport& first) {
+  const ScenarioReport again = ScenarioRunner::run(spec);
+  EXPECT_EQ(first.fingerprint(), again.fingerprint()) << first.to_string();
+  EXPECT_EQ(first.total_expanded, again.total_expanded);
+  EXPECT_EQ(first.messages_sent, again.messages_sent);
+  EXPECT_EQ(first.makespan, again.makespan);
+  EXPECT_EQ(first.timeline, again.timeline);
+}
+
+class ScenarioBackendTest : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(ScenarioBackendTest, CrashAtDepthCompletes) {
+  // Kill a worker once work has spread (several node costs into the run).
+  ScenarioSpec spec = base_spec("crash-at-depth", GetParam(), 21);
+  spec.faults.crash(1, 0.05).crash(2, 0.12);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  expect_reproducible(spec, report);
+}
+
+TEST_P(ScenarioBackendTest, PartitionAndHealCompletes) {
+  ScenarioSpec spec = base_spec("partition-and-heal", GetParam(), 22);
+  spec.faults.split_halves(0.05, 0.4);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  EXPECT_GT(report.messages_partitioned, 0u) << report.to_string();
+  expect_reproducible(spec, report);
+}
+
+TEST_P(ScenarioBackendTest, TenPercentLossCompletes) {
+  ScenarioSpec spec = base_spec("ten-percent-loss", GetParam(), 23);
+  spec.faults.loss(0.0, 1e9, 0.10);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  EXPECT_GT(report.messages_lost, 0u) << report.to_string();
+  expect_reproducible(spec, report);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ScenarioBackendTest,
+                         ::testing::Values(Backend::kFtbb, Backend::kCentral,
+                                           Backend::kDib),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Scenario, RejoinAfterCrashCompletes) {
+  ScenarioSpec spec = base_spec("crash-then-rejoin", Backend::kFtbb, 31);
+  spec.faults.bounce(1, 0.05, 0.25);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  expect_reproducible(spec, report);
+}
+
+TEST(Scenario, MembershipChurnCompletes) {
+  // Start with 2 workers; 3 more trickle in while two of the originals
+  // bounce — the paper's dynamically available resource pool.
+  ScenarioSpec spec = base_spec("membership-churn", Backend::kFtbb, 32);
+  spec.workers = 2;
+  spec.faults.churn(2, 3, 0.05, 0.04);
+  spec.faults.bounce(1, 0.1, 0.3);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  EXPECT_EQ(report.workers, 5u);
+  expect_solved(report);
+  expect_reproducible(spec, report);
+}
+
+TEST(Scenario, CombinedAdversityCompletesWithAllFaultKinds) {
+  // All five fault categories in one schedule.
+  ScenarioSpec spec = base_spec("kitchen-sink", Backend::kFtbb, 33);
+  spec.workers = 3;
+  spec.faults.bounce(1, 0.08, 0.35)
+      .split_halves(0.15, 0.3)
+      .loss(0.0, 1e9, 0.05)
+      .link_loss(0, 2, 0.2, 0.5, 0.5)
+      .churn(3, 2, 0.1, 0.05);
+  EXPECT_EQ(spec.faults.distinct_fault_kinds(), kFaultKinds);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  expect_reproducible(spec, report);
+}
+
+TEST(Scenario, WorkloadsAllRunUnderLoss) {
+  for (const WorkloadKind kind :
+       {WorkloadKind::kKnapsack, WorkloadKind::kVertexCover,
+        WorkloadKind::kNumberPartition, WorkloadKind::kSyntheticTree}) {
+    ScenarioSpec spec = base_spec("workload-sweep", Backend::kFtbb, 41);
+    spec.workload.kind = kind;
+    spec.workload.size = kind == WorkloadKind::kSyntheticTree ? 401
+                         : kind == WorkloadKind::kKnapsack    ? 12
+                                                              : 10;
+    spec.faults.loss(0.0, 1e9, 0.05).crash(3, 0.05);
+    const ScenarioReport report = ScenarioRunner::run(spec);
+    expect_solved(report);
+  }
+}
+
+TEST(Scenario, CrashedWorkForcesRedundantExpansion) {
+  // A crash destroying a worker's pool and unreported completions must be
+  // paid for in re-expanded nodes, and the report must expose that cost.
+  ScenarioSpec spec = base_spec("crash-costs-work", Backend::kFtbb, 42);
+  spec.faults.crash(1, 0.08).crash(2, 0.08).crash(3, 0.08);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  EXPECT_GE(report.total_expanded, report.unique_expanded);
+  EXPECT_EQ(report.redundant_expansions,
+            report.total_expanded - report.unique_expanded);
+}
+
+TEST(Scenario, DifferentSeedsProduceDifferentFingerprints) {
+  ScenarioSpec spec_a = base_spec("seed-sensitivity", Backend::kFtbb, 51);
+  ScenarioSpec spec_b = base_spec("seed-sensitivity", Backend::kFtbb, 52);
+  spec_a.faults.loss(0.0, 1e9, 0.1);
+  spec_b.faults.loss(0.0, 1e9, 0.1);
+  spec_b.workload.seed = spec_a.workload.seed;  // same problem, new schedule
+  const ScenarioReport a = ScenarioRunner::run(spec_a);
+  const ScenarioReport b = ScenarioRunner::run(spec_b);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Both still solve the same instance optimally.
+  EXPECT_DOUBLE_EQ(a.solution, b.solution);
+}
+
+TEST(Scenario, ReportCarriesTimelineAndDescribe) {
+  ScenarioSpec spec = base_spec("timeline", Backend::kFtbb, 61);
+  spec.faults.crash(1, 0.05).rejoin(1, 0.2).loss(0.1, 0.3, 0.2);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  ASSERT_EQ(report.timeline.size(), 3u);
+  // Time-ordered.
+  EXPECT_LE(report.timeline[0].time, report.timeline[1].time);
+  EXPECT_LE(report.timeline[1].time, report.timeline[2].time);
+  EXPECT_EQ(report.timeline[0].kind, FaultKind::kCrash);
+  EXPECT_FALSE(report.to_string().empty());
+  EXPECT_FALSE(spec.faults.describe().empty());
+}
+
+TEST(FaultPlan, ValidatesAndCounts) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.distinct_fault_kinds(), 0);
+  plan.crash(2, 0.1).rejoin(2, 0.5).split_halves(0.2, 0.3).loss(0.0, 1.0, 0.1);
+  plan.churn(4, 2, 0.1, 0.1);
+  EXPECT_EQ(plan.distinct_fault_kinds(), kFaultKinds);
+  EXPECT_EQ(plan.max_node(), 5);
+  plan.for_workers(6);
+  ASSERT_EQ(plan.partitions().size(), 1u);
+  EXPECT_EQ(plan.partitions()[0].group_of.size(), 6u);
+  EXPECT_FALSE(plan.describe().empty());
+}
+
+TEST(FaultPlanDeath, RejoinWithoutCrashAborts) {
+  FaultPlan plan;
+  plan.rejoin(1, 0.5);
+  EXPECT_DEATH(plan.for_workers(4), "rejoin without a preceding crash");
+}
+
+}  // namespace
+}  // namespace ftbb::sim
