@@ -8,6 +8,8 @@
 // decentralized mechanism pays a modest redundancy cost where the
 // centralized baseline pays in manager traffic and DIB pays in wholesale
 // redo of donated subtrees.
+// `--threads=N` (or FTBB_SIM_THREADS) shards the simulation kernel; every
+// reported number is bit-identical to the sequential run.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -15,8 +17,10 @@
 #include "sim/scenario.hpp"
 #include "support/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftbb;
+
+  const std::uint32_t threads = sim::parse_threads_flag(argc, argv);
 
   struct Schedule {
     const char* name;
@@ -57,6 +61,7 @@ int main() {
       sim::ScenarioSpec spec;
       spec.name = schedule.name;
       spec.backend = backend;
+      spec.sim_threads = threads;
       spec.workers = 4;
       spec.seed = 5;
       spec.workload.kind = sim::WorkloadKind::kKnapsack;

@@ -68,6 +68,23 @@ inline bnb::BasicTree large_problem() {
   return bnb::BasicTree::random(cfg);
 }
 
+/// Table-1-scale tree at Figure-3 granularity (0.01 s/node): the same
+/// 79,601-node search, but with a dense event stream. Used by the kernel
+/// throughput benchmark — at 3.47 s/node the events inside one conservative
+/// lookahead window (1.5 ms, the network latency floor) are too sparse for
+/// sharding to have anything to run in parallel; at 0.01 s/node a
+/// 100-worker run dispatches tens of events per window.
+inline bnb::BasicTree large_problem_dense() {
+  bnb::RandomTreeConfig cfg;
+  cfg.target_nodes = kLargeNodes;
+  cfg.cost_mean = kSmallNodeCost;
+  cfg.cost_cv = 0.25;
+  cfg.seed = 20000509;
+  cfg.depth_bias = 0.6;
+  cfg.value_slack_mean = 1e7;
+  return bnb::BasicTree::random(cfg);
+}
+
 /// Worker tuning for the small (10 ms granularity) problem.
 inline core::WorkerConfig small_worker_config() {
   core::WorkerConfig w;

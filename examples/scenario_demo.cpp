@@ -4,15 +4,20 @@
 // every fault kind at once. Run twice with the same seed and the printed
 // fingerprints match bit for bit — every fault schedule is a regression
 // artifact.
+// `--threads=N` (or FTBB_SIM_THREADS) shards the simulation kernel across N
+// OS threads; the printed fingerprints are identical either way.
 #include <cstdio>
 
 #include "sim/scenario.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftbb;
+
+  const std::uint32_t threads = sim::parse_threads_flag(argc, argv);
 
   sim::ScenarioSpec spec;
   spec.name = "demo";
+  spec.sim_threads = threads;
   spec.workers = 4;
   spec.seed = 7;
   spec.workload.kind = sim::WorkloadKind::kKnapsack;
@@ -37,6 +42,7 @@ int main() {
   std::printf("=== kitchen sink: crash + rejoin + partition + loss + churn ===\n");
   sim::ScenarioSpec sink;
   sink.name = "kitchen-sink";
+  sink.sim_threads = threads;
   sink.workers = 3;
   sink.seed = 11;
   sink.workload.kind = sim::WorkloadKind::kSyntheticTree;

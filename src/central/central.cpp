@@ -33,7 +33,7 @@ struct Batch {
 struct Sim {
   const bnb::IProblemModel& model;
   CentralConfig cfg;
-  sim::Kernel kernel;
+  sim::Kernel kernel;  // node 0 = manager, nodes 1..N = workers
   std::unique_ptr<sim::Network> net;
   std::vector<std::unique_ptr<Worker>> workers;
   double time_limit;
@@ -58,14 +58,15 @@ struct Sim {
   double concluded_at = 0.0;
   bool failed = false;  // manager died without checkpointing
 
-  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> expansions;
-  std::uint64_t total_expanded = 0;
+  // Expansion bookkeeping is per worker (merged at the end); these counters
+  // are only ever touched in the manager's (node 0) context.
   std::uint64_t manager_messages = 0;
   std::uint64_t reissues = 0;
   std::uint64_t manager_restarts = 0;
 
-  Sim(const bnb::IProblemModel& m, const CentralConfig& c, double limit)
-      : model(m), cfg(c), time_limit(limit) {}
+  Sim(const bnb::IProblemModel& m, const CentralConfig& c, double limit,
+      const sim::ExecutorConfig& ex)
+      : model(m), cfg(c), kernel(ex), time_limit(limit) {}
 
   void manager_prune() {
     if (!cfg.enable_elimination) return;
@@ -94,6 +95,8 @@ struct Worker {
   bool fetch_outstanding = false;
   double incumbent = bnb::kInfinity;
   std::uint64_t expanded = 0;
+  /// Codes this worker expanded (worker-context only; merged at the end).
+  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> expansions;
   /// Incarnation counter: closures belonging to a crashed incarnation must
   /// not resume after a revive (their batch state is stale).
   std::uint64_t epoch = 0;
@@ -125,13 +128,16 @@ struct Worker {
       ++sim->manager_messages;
       if (sim->manager_alive) sim->on_fetch(id);
     });
-    // Fetches lost to a down manager are retried.
-    sim->kernel.after(sim->cfg.reissue_timeout, [this, e = epoch] {
-      if (e == epoch && running() && fetch_outstanding) {
-        fetch_outstanding = false;
-        fetch();
-      }
-    });
+    // Fetches lost to a down manager are retried. Owner-tagged: the retry
+    // must fire on this worker's shard even when fetch() ran as a control
+    // event (a revive).
+    sim->kernel.after(sim->cfg.reissue_timeout, static_cast<sim::OwnerId>(id),
+                      [this, e = epoch] {
+                        if (e == epoch && running() && fetch_outstanding) {
+                          fetch_outstanding = false;
+                          fetch();
+                        }
+                      });
   }
 
   void on_batch(std::uint64_t batch_id, std::vector<bnb::Subproblem> problems,
@@ -171,12 +177,12 @@ struct Worker {
     }
     const bnb::NodeEval eval = sim->model.eval(p.code);
     ++expanded;
-    ++sim->total_expanded;
-    ++sim->expansions[p.code];
+    ++expansions[p.code];
     sim->kernel.after(
-        eval.cost, [this, batch_id, todo = std::move(todo),
-                    children = std::move(children), p = std::move(p), eval,
-                    e = epoch]() mutable {
+        eval.cost, static_cast<sim::OwnerId>(id),
+        [this, batch_id, todo = std::move(todo),
+         children = std::move(children), p = std::move(p), eval,
+         e = epoch]() mutable {
           if (e != epoch || !running()) return;
           if (eval.feasible_leaf) {
             incumbent = std::min(incumbent, eval.value);
@@ -269,7 +275,7 @@ void Sim::audit() {
     if (!expired.empty()) try_dispatch();
   }
   if (!concluded && kernel.now() + cfg.audit_interval < time_limit) {
-    kernel.after(cfg.audit_interval, [this] { audit(); });
+    kernel.after(cfg.audit_interval, sim::OwnerId{0}, [this] { audit(); });
   }
 }
 
@@ -282,7 +288,8 @@ void Sim::take_checkpoint() {
     checkpoint = std::move(cp);
   }
   if (!concluded && kernel.now() + cfg.checkpoint_interval < time_limit) {
-    kernel.after(cfg.checkpoint_interval, [this] { take_checkpoint(); });
+    kernel.after(cfg.checkpoint_interval, sim::OwnerId{0},
+                 [this] { take_checkpoint(); });
   }
 }
 
@@ -293,7 +300,8 @@ void Sim::crash_manager() {
     failed = true;  // unrecoverable: the paper's single point of failure
     return;
   }
-  kernel.after(cfg.restart_delay, [this] { restart_manager(); });
+  // Manager state belongs to node 0's shard; the restart is a node-0 event.
+  kernel.after(cfg.restart_delay, sim::OwnerId{0}, [this] { restart_manager(); });
 }
 
 void Sim::restart_manager() {
@@ -334,9 +342,14 @@ CentralResult CentralSim::run_with_faults(
   FTBB_CHECK_MSG(faults.worker_join_times.empty() ||
                      faults.worker_join_times.size() == worker_count,
                  "worker_join_times must be empty or one entry per worker");
-  Sim sim(model, config, time_limit);
+  sim::ExecutorConfig ex;
+  ex.threads = sim::resolve_sim_threads(config.sim_threads);
+  ex.nodes = worker_count + 1;  // node 0 is the manager
+  ex.lookahead = sim::Network::min_latency(net);
+  Sim sim(model, config, time_limit, ex);
   support::Rng master(seed);
-  sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x63656e74));
+  sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x63656e74),
+                                           worker_count + 1);
   for (const ftbb::sim::Partition& p : faults.partitions) sim.net->add_partition(p);
   for (std::uint32_t i = 1; i <= worker_count; ++i) {
     sim.workers.push_back(std::make_unique<Worker>(&sim, i));
@@ -346,11 +359,13 @@ CentralResult CentralSim::run_with_faults(
     const double when =
         faults.worker_join_times.empty() ? 0.0 : faults.worker_join_times[i];
     if (when >= time_limit) continue;  // never joins within this run
-    sim.kernel.at(when, [wp = sim.workers[i].get()] { wp->fetch(); });
+    sim.kernel.at(when, static_cast<sim::OwnerId>(i + 1),
+                  [wp = sim.workers[i].get()] { wp->fetch(); });
   }
-  sim.kernel.after(config.audit_interval, [&sim] { sim.audit(); });
+  sim.kernel.after(config.audit_interval, sim::OwnerId{0}, [&sim] { sim.audit(); });
   if (config.checkpointing) {
-    sim.kernel.after(config.checkpoint_interval, [&sim] { sim.take_checkpoint(); });
+    sim.kernel.after(config.checkpoint_interval, sim::OwnerId{0},
+                     [&sim] { sim.take_checkpoint(); });
   }
   for (const CentralCrash& crash : faults.crashes) {
     sim.kernel.at(crash.time, [&sim, crash] {
@@ -377,9 +392,14 @@ CentralResult CentralSim::run_with_faults(
   result.makespan =
       sim.concluded ? sim.concluded_at : std::min(sim.kernel.now(), time_limit);
   result.hit_time_limit = kr.hit_time_limit;
-  result.total_expanded = sim.total_expanded;
-  result.unique_expanded = sim.expansions.size();
-  result.redundant_expansions = sim.total_expanded - result.unique_expanded;
+  // Merge per-worker expansion maps; totals are interleaving-independent.
+  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> merged;
+  for (const auto& w : sim.workers) {
+    result.total_expanded += w->expanded;
+    for (const auto& [code, count] : w->expansions) merged[code] += count;
+  }
+  result.unique_expanded = merged.size();
+  result.redundant_expansions = result.total_expanded - result.unique_expanded;
   result.manager_messages = sim.manager_messages;
   result.reissues = sim.reissues;
   result.manager_restarts = sim.manager_restarts;

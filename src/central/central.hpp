@@ -29,6 +29,9 @@ struct CentralConfig {
   double reissue_timeout = 2.0;      // silence after which a batch is reissued
   double audit_interval = 0.5;
   bool enable_elimination = true;
+  /// Simulation dispatch threads (> 1 shards node event streams; results
+  /// stay bit-identical); 0 consults FTBB_SIM_THREADS, else sequential.
+  std::uint32_t sim_threads = 0;
   // -- manager fault tolerance --
   bool checkpointing = false;
   double checkpoint_interval = 1.0;

@@ -49,18 +49,14 @@ struct Sim {
   std::vector<std::unique_ptr<Machine>> machines;
   double time_limit;
 
-  bool concluded = false;
+  bool concluded = false;       // written by machine 0's context only
   double concluded_at = 0.0;
   double best = bnb::kInfinity;
   bool best_found = false;
 
-  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> expansions;
-  std::uint64_t total_expanded = 0;
-  std::uint64_t donations = 0;
-  std::uint64_t donation_redos = 0;
-
-  Sim(const bnb::IProblemModel& m, const DibConfig& c, double limit)
-      : model(m), cfg(c), time_limit(limit) {}
+  Sim(const bnb::IProblemModel& m, const DibConfig& c, double limit,
+      const sim::ExecutorConfig& ex)
+      : model(m), cfg(c), kernel(ex), time_limit(limit) {}
 };
 
 struct Machine {
@@ -79,6 +75,10 @@ struct Machine {
   bool request_outstanding = false;
   std::uint64_t request_gen = 0;
   std::uint64_t expanded = 0;
+  /// Machine-context-only bookkeeping, merged when the run ends.
+  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> expansions;
+  std::uint64_t donations_made = 0;
+  std::uint64_t donation_redos = 0;
   /// Incarnation counter: a crashed incarnation's expansion continuation and
   /// audit chain must not touch the replacement's (emptied) job list.
   std::uint64_t epoch = 0;
@@ -208,9 +208,9 @@ struct Machine {
     }
     const bnb::NodeEval eval = sim->model.eval(task.sub.code);
     ++expanded;
-    ++sim->total_expanded;
-    ++sim->expansions[task.sub.code];
-    sim->kernel.after(eval.cost, [this, task = std::move(task), eval, e = epoch] {
+    ++expansions[task.sub.code];
+    sim->kernel.after(eval.cost, static_cast<sim::OwnerId>(id),
+                      [this, task = std::move(task), eval, e = epoch] {
       if (e != epoch) return;  // expansion begun by a crashed incarnation
       busy = false;
       if (!running()) return;
@@ -253,12 +253,13 @@ struct Machine {
                    [peer, from = id, best = incumbent] {
                      peer->on_work_request(from, best);
                    });
-    sim->kernel.after(sim->cfg.work_request_timeout, [this, gen] {
+    const auto owner = static_cast<sim::OwnerId>(id);
+    sim->kernel.after(sim->cfg.work_request_timeout, owner, [this, gen, owner] {
       if (!running() || !request_outstanding || gen != request_gen) return;
       request_outstanding = false;
       // Back off briefly; idle machines retry forever (DIB has no
       // complement — only donors can regenerate lost work).
-      sim->kernel.after(sim->cfg.request_backoff, [this] { seek_work(); });
+      sim->kernel.after(sim->cfg.request_backoff, owner, [this] { seek_work(); });
     });
   }
 
@@ -280,7 +281,7 @@ struct Machine {
       FTBB_CHECK(job.open_nodes > 0);
       --job.open_nodes;  // the node now lives in the ledger, not the pool
       ++job.unacked;
-      ++sim->donations;
+      ++donations_made;
       ledger.emplace(donation_id,
                      Donation{task, from, task.job, sim->kernel.now()});
       sim->net->send(id, from, msg_bytes(task.sub.code), sim->kernel.now(),
@@ -309,7 +310,8 @@ struct Machine {
     if (!running()) return;
     absorb(best);
     request_outstanding = false;
-    sim->kernel.after(sim->cfg.request_backoff, [this] { seek_work(); });
+    sim->kernel.after(sim->cfg.request_backoff, static_cast<sim::OwnerId>(id),
+                      [this] { seek_work(); });
   }
 
   /// Periodic failure-recovery audit: donations silent for too long are
@@ -328,7 +330,7 @@ struct Machine {
     for (const std::uint64_t donation_id : expired) {
       Donation donation = ledger.at(donation_id);
       ledger.erase(donation_id);
-      ++sim->donation_redos;
+      ++donation_redos;
       Job& job = jobs[donation.job];
       FTBB_CHECK(job.unacked > 0);
       --job.unacked;
@@ -336,10 +338,12 @@ struct Machine {
       pool.push_back(donation.task);
     }
     if (!expired.empty()) schedule_step();
-    sim->kernel.after(sim->cfg.audit_interval, [this, e = epoch] {
-      // Each incarnation runs its own audit chain; a revive starts a new one.
-      if (e == epoch) audit();
-    });
+    sim->kernel.after(sim->cfg.audit_interval, static_cast<sim::OwnerId>(id),
+                      [this, e = epoch] {
+                        // Each incarnation runs its own audit chain; a revive
+                        // starts a new one.
+                        if (e == epoch) audit();
+                      });
   }
 };
 
@@ -363,9 +367,14 @@ DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
                  "join_times must be empty or one entry per machine");
   FTBB_CHECK_MSG(faults.join_times.empty() || faults.join_times[0] == 0.0,
                  "machine 0 holds the root job and must join at time 0");
-  Sim sim(model, config, time_limit);
+  sim::ExecutorConfig ex;
+  ex.threads = sim::resolve_sim_threads(config.sim_threads);
+  ex.nodes = machines;
+  ex.lookahead = sim::Network::min_latency(net);
+  Sim sim(model, config, time_limit, ex);
   support::Rng master(seed);
-  sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x646962));
+  sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x646962),
+                                           machines);
   for (const ftbb::sim::Partition& p : faults.partitions) sim.net->add_partition(p);
   for (std::uint32_t i = 0; i < machines; ++i) {
     sim.machines.push_back(std::make_unique<Machine>(&sim, i, master.split(i).next()));
@@ -378,10 +387,11 @@ DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
   for (std::uint32_t i = 0; i < machines; ++i) {
     const double when = faults.join_times.empty() ? 0.0 : faults.join_times[i];
     if (when >= time_limit) continue;  // never joins within this run
-    sim.kernel.at(when, [mp = sim.machines[i].get()] {
-      mp->schedule_step();
-      mp->audit();
-    });
+    sim.kernel.at(when, static_cast<sim::OwnerId>(i),
+                  [mp = sim.machines[i].get()] {
+                    mp->schedule_step();
+                    mp->audit();
+                  });
   }
   for (const DibCrash& crash : faults.crashes) {
     FTBB_CHECK(crash.machine < machines);
@@ -403,11 +413,16 @@ DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
   result.solution_found = sim.best_found;
   result.makespan = sim.concluded ? sim.concluded_at : std::min(sim.kernel.now(), time_limit);
   result.hit_time_limit = kr.hit_time_limit;
-  result.total_expanded = sim.total_expanded;
-  result.unique_expanded = sim.expansions.size();
-  result.redundant_expansions = sim.total_expanded - result.unique_expanded;
-  result.donations = sim.donations;
-  result.donation_redos = sim.donation_redos;
+  // Merge per-machine bookkeeping; totals are interleaving-independent.
+  std::unordered_map<PathCode, std::uint32_t, core::PathCodeHash> merged;
+  for (const auto& m : sim.machines) {
+    result.total_expanded += m->expanded;
+    result.donations += m->donations_made;
+    result.donation_redos += m->donation_redos;
+    for (const auto& [code, count] : m->expansions) merged[code] += count;
+  }
+  result.unique_expanded = merged.size();
+  result.redundant_expansions = result.total_expanded - result.unique_expanded;
   result.net = sim.net->stats();
   for (const auto& m : sim.machines) result.expanded_per_machine.push_back(m->expanded);
   return result;

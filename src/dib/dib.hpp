@@ -36,6 +36,9 @@ struct DibConfig {
   double donation_timeout = 2.0;  // silence after which a donee is presumed dead
   std::uint32_t min_pool_to_grant = 2;
   bool enable_elimination = true;
+  /// Simulation dispatch threads (> 1 shards machine event streams; results
+  /// stay bit-identical); 0 consults FTBB_SIM_THREADS, else sequential.
+  std::uint32_t sim_threads = 0;
 };
 
 struct DibCrash {

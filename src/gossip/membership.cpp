@@ -179,7 +179,8 @@ MembershipSim::Result MembershipSim::run(const std::vector<MemberScript>& script
   Sim sim(config, duration);
   support::Rng master(seed);
   sim.net = std::make_unique<sim::Network>(&sim.kernel, net_config,
-                                           master.split(0x676f7373));
+                                           master.split(0x676f7373),
+                                           static_cast<std::uint32_t>(scripts.size()));
   sim.members.resize(scripts.size());
   sim.scripts = scripts;
   for (const MemberScript& script : scripts) {

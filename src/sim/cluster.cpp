@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <variant>
 
 #include "support/check.hpp"
@@ -10,6 +12,17 @@
 namespace ftbb::sim {
 
 namespace {
+
+/// Per-host expansion bookkeeping. The model is a pure function of the code,
+/// so the cost is identical on every expansion of the same code; collect()
+/// merges the per-host maps and derives the redundant totals in canonical
+/// code order — independent of event interleaving and thread count.
+struct ExpansionRecord {
+  std::uint32_t count = 0;
+  double cost = 0.0;
+};
+using ExpansionMap =
+    std::unordered_map<core::PathCode, ExpansionRecord, core::PathCodeHash>;
 
 trace::Activity to_activity(core::CostKind kind) {
   switch (kind) {
@@ -136,7 +149,10 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 
   void set_timer(core::TimerKind kind, double delay, std::uint64_t gen) override {
     FTBB_CHECK(delay >= 0.0);
-    cluster_->kernel_.at(busy_until_ + delay, [this, kind, gen, epoch = epoch_]() {
+    // Owner-tagged: the firing must run on this worker's shard even when the
+    // timer is armed from the control context (join / revive).
+    cluster_->kernel_.at(busy_until_ + delay, static_cast<OwnerId>(id_),
+                         [this, kind, gen, epoch = epoch_]() {
       if (epoch != epoch_ || !alive_ || worker_->halted()) return;
       pending_.emplace_back(TimerFire{kind, gen});
       pump();
@@ -147,7 +163,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     if (seconds <= 0.0) return;
     worker_->stats().time[static_cast<int>(kind)] += seconds;
     if (cluster_->config_.record_trace) {
-      cluster_->timeline_.add(id_, busy_until_, busy_until_ + seconds, to_activity(kind));
+      trace_.add(id_, busy_until_, busy_until_ + seconds, to_activity(kind));
     }
     busy_until_ += seconds;
   }
@@ -171,21 +187,23 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   void set_wait_hint(core::WaitHint hint) override { wait_hint_ = hint; }
 
   void notify_halted() override {
-    ++cluster_->live_halted_;
+    cluster_->live_halted_.fetch_add(1, std::memory_order_relaxed);
     pending_.clear();
   }
 
   void note_expansion(const core::PathCode& code, double cost) override {
-    ++cluster_->total_expansions_;
-    const auto [it, inserted] = cluster_->expansions_.try_emplace(code, 0u);
-    if (!inserted || it->second > 0) cluster_->redundant_cost_ += cost;
-    ++it->second;
-    // note: redundant accounting counts every expansion after the first
+    auto& record = expansions_[code];
+    ++record.count;
+    record.cost = cost;  // pure function of the code, identical every time
   }
 
   void note_completion(const core::PathCode& code) override {
+    const std::lock_guard<std::mutex> lock(cluster_->completions_mu_);
     cluster_->union_table_.insert(code);
   }
+
+  [[nodiscard]] const ExpansionMap& expansions() const { return expansions_; }
+  [[nodiscard]] const trace::Timeline& trace() const { return trace_; }
 
   /// Unaccounted tail time for workers that never halted (hit a limit).
   void finalize(double end_time) {
@@ -209,10 +227,9 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
                                     : core::CostKind::kIdle;
     worker_->stats().time[static_cast<int>(kind)] += dur;
     if (cluster_->config_.record_trace) {
-      cluster_->timeline_.add(id_, from, to,
-                              kind == core::CostKind::kLoadBalance
-                                  ? trace::Activity::kLB
-                                  : trace::Activity::kIdle);
+      trace_.add(id_, from, to,
+                 kind == core::CostKind::kLoadBalance ? trace::Activity::kLB
+                                                      : trace::Activity::kIdle);
     }
   }
 
@@ -262,7 +279,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 
   void schedule_wake() {
     const std::uint64_t gen = ++wake_gen_;
-    cluster_->kernel_.at(busy_until_, [this, gen]() {
+    cluster_->kernel_.at(busy_until_, static_cast<OwnerId>(id_), [this, gen]() {
       if (gen != wake_gen_) return;  // superseded by a later busy extension
       pump();
     });
@@ -285,18 +302,37 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   core::WaitHint wait_hint_ = core::WaitHint::kIdle;
   std::deque<Pending> pending_;
   std::uint64_t wake_gen_ = 0;
+  ExpansionMap expansions_;   // every expansion this host performed
+  trace::Timeline trace_;     // host-local; merged in collect()
 };
 
 // ---------------------------------------------------------------------------
 // SimCluster
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Kernel policy for a cluster config: shard per-worker event streams when
+/// asked to, with the network's minimum link latency as the conservative
+/// lookahead (make_executor falls back to sequential dispatch when the
+/// lookahead is zero — results are identical either way).
+ExecutorConfig executor_config(const ClusterConfig& config) {
+  ExecutorConfig ex;
+  ex.threads = resolve_sim_threads(config.sim_threads);
+  ex.nodes = config.workers;
+  ex.lookahead = Network::min_latency(config.net);
+  return ex;
+}
+
+}  // namespace
+
 SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& config)
-    : model_(model), config_(config) {
+    : model_(model), config_(config), kernel_(executor_config(config)) {
   FTBB_CHECK(config_.workers >= 1);
   FTBB_CHECK(config_.root_holder < config_.workers);
   support::Rng master(config_.seed);
-  network_ = std::make_unique<Network>(&kernel_, config_.net, master.split(0x6e657477));
+  network_ = std::make_unique<Network>(&kernel_, config_.net, master.split(0x6e657477),
+                                       config_.workers);
   for (const Partition& p : config_.partitions) network_->add_partition(p);
   FTBB_CHECK_MSG(config_.join_times.empty() ||
                      config_.join_times.size() == config_.workers,
@@ -312,7 +348,9 @@ SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& con
 
 SimCluster::~SimCluster() = default;
 
-bool SimCluster::finished() const { return live_halted_ >= live_count_; }
+bool SimCluster::finished() const {
+  return live_halted_.load(std::memory_order_relaxed) >= live_count_;
+}
 
 void SimCluster::join(core::NodeId id) {
   WorkerHost* host = hosts_[id].get();
@@ -369,6 +407,8 @@ void SimCluster::start() {
 }
 
 void SimCluster::sample_storage() {
+  // Runs as a control event: every shard is quiescent at a barrier, so the
+  // worker tables reflect exactly the events before the sample instant.
   std::size_t total = 0;
   for (const auto& host : hosts_) {
     if (!host->alive()) continue;
@@ -376,6 +416,7 @@ void SimCluster::sample_storage() {
   }
   if (total > peak_total_bytes_) {
     peak_total_bytes_ = total;
+    const std::lock_guard<std::mutex> lock(completions_mu_);
     peak_unique_bytes_ = union_table_.encoded_bytes();
   }
   if (!finished()) {
@@ -392,6 +433,7 @@ ClusterResult SimCluster::run(const bnb::IProblemModel& model,
   ClusterResult result = cluster.collect();
   result.hit_time_limit = kr.hit_time_limit;
   result.hit_event_limit = kr.hit_event_limit;
+  result.kernel_events = kr.events;
   return result;
 }
 
@@ -430,15 +472,47 @@ ClusterResult SimCluster::collect() {
   }
   res.all_live_halted = live_total > 0 && live_halted == live_total;
   if (!res.all_live_halted) res.makespan = end_time;
-  res.unique_expanded = expansions_.size();
-  res.redundant_expansions = total_expansions_ - res.unique_expanded;
-  res.redundant_cost = redundant_cost_;
+
+  // Merge the per-host expansion maps. The totals and the redundant-cost sum
+  // are computed in canonical code order, so they are bit-identical across
+  // executors and thread counts (no dependence on which host's expansion of
+  // a shared code happened to run first).
+  ExpansionMap merged;
+  std::uint64_t noted_expansions = 0;
+  for (const auto& host : hosts_) {
+    for (const auto& [code, record] : host->expansions()) {
+      auto& m = merged[code];
+      m.count += record.count;
+      m.cost = record.cost;
+      noted_expansions += record.count;
+    }
+  }
+  res.unique_expanded = merged.size();
+  res.redundant_expansions = noted_expansions - res.unique_expanded;
+  std::vector<std::pair<const core::PathCode*, const ExpansionRecord*>> ordered;
+  ordered.reserve(merged.size());
+  for (const auto& [code, record] : merged) {
+    if (record.count > 1) ordered.emplace_back(&code, &record);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  double redundant_cost = 0.0;
+  for (const auto& [code, record] : ordered) {
+    redundant_cost += static_cast<double>(record->count - 1) * record->cost;
+  }
+  res.redundant_cost = redundant_cost;
+
   res.peak_table_bytes_total = peak_total_bytes_;
   res.peak_table_bytes_unique = peak_unique_bytes_;
   res.net = network_->stats();
-  res.timeline = std::move(timeline_);
   if (config_.record_trace) {
-    // Close the chart with terminal states.
+    // Stitch the per-host charts together in worker order, then close the
+    // chart with terminal states.
+    for (const auto& host : hosts_) {
+      for (const trace::Interval& iv : host->trace().intervals()) {
+        res.timeline.add(iv.proc, iv.t0, iv.t1, iv.activity);
+      }
+    }
     for (core::NodeId id = 0; id < config_.workers; ++id) {
       const WorkerHost& host = *hosts_[id];
       if (!host.alive()) {

@@ -21,8 +21,9 @@
 // Jumpshot-style activity timeline (Figures 5 and 6).
 #pragma once
 
+#include <atomic>
 #include <memory>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
 #include "bnb/problem.hpp"
@@ -55,6 +56,10 @@ struct ClusterConfig {
   core::WorkerConfig worker;
   NetConfig net;
   std::uint64_t seed = 1;
+  /// Simulation dispatch threads: > 1 shards per-worker event streams across
+  /// OS threads with conservative lookahead (results are bit-identical to
+  /// the sequential kernel); 0 consults FTBB_SIM_THREADS, else sequential.
+  std::uint32_t sim_threads = 0;
   double time_limit = 1e9;               // virtual seconds
   std::uint64_t event_limit = 200'000'000ULL;
   std::vector<CrashEvent> crashes;
@@ -77,6 +82,7 @@ struct ClusterResult {
   bool all_live_halted = false;
   bool hit_time_limit = false;
   bool hit_event_limit = false;
+  std::uint64_t kernel_events = 0;  // discrete events the kernel dispatched
   double makespan = 0.0;         // halt instant of the last live worker
   double first_detection = 0.0;  // earliest termination detection
   double solution = bnb::kInfinity;
@@ -144,20 +150,22 @@ class SimCluster {
   Kernel kernel_;
   std::unique_ptr<Network> network_;
   std::vector<std::unique_ptr<WorkerHost>> hosts_;
-  std::vector<core::NodeId> joined_;   // members that have joined so far
+  std::vector<core::NodeId> joined_;   // members that have joined so far;
+                                       // mutated only by control events
   std::uint64_t membership_version_ = 0;
 
-  // Cross-worker accounting.
-  std::unordered_map<core::PathCode, std::uint32_t, core::PathCodeHash> expansions_;
-  std::uint64_t total_expansions_ = 0;
-  double redundant_cost_ = 0.0;
+  // Cross-worker accounting. Expansion bookkeeping is per-host (merged
+  // order-independently in collect()); the union completion table is the one
+  // genuinely shared structure — its contracted form is canonical in the
+  // completion *set*, so concurrent insertion order cannot leak into the
+  // sampled byte counts.
+  std::mutex completions_mu_;
   core::CodeSet union_table_;  // every completion ever recorded, for the
                                // "redundant storage" measurement
   std::size_t peak_total_bytes_ = 0;
   std::size_t peak_unique_bytes_ = 0;
 
-  trace::Timeline timeline_;
-  std::uint32_t live_halted_ = 0;
+  std::atomic<std::uint32_t> live_halted_{0};
   std::uint32_t live_count_ = 0;
 };
 

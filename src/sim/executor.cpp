@@ -1,0 +1,409 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ftbb::sim {
+
+namespace {
+
+/// One scheduled callback. (t, src, seq) is the canonical stamp; `owner` is
+/// the node whose shard dispatches it. src/seq are assigned at schedule()
+/// time from the scheduling context, which makes the total order independent
+/// of the executor and the thread count (see executor.hpp).
+struct Event {
+  double t = 0.0;
+  OwnerId src = kControlOwner;
+  std::uint64_t seq = 0;
+  OwnerId owner = kControlOwner;
+  Callback fn;
+};
+
+/// Canonical order, as a "later than" predicate so std::push_heap/pop_heap
+/// build a min-heap. Control (src = -1) sorts before same-time node events,
+/// preserving the old kernel's property that fault schedules enqueued before
+/// the run win insertion-order ties.
+bool later(const Event& a, const Event& b) {
+  if (a.t != b.t) return a.t > b.t;
+  if (a.src != b.src) return a.src > b.src;
+  return a.seq > b.seq;
+}
+
+void heap_push(std::vector<Event>& heap, Event ev) {
+  heap.push_back(std::move(ev));
+  std::push_heap(heap.begin(), heap.end(), later);
+}
+
+/// Pops the earliest event by moving it out of the vector — the legitimate
+/// replacement for the old const_cast extraction from std::priority_queue.
+Event heap_pop(std::vector<Event>& heap) {
+  std::pop_heap(heap.begin(), heap.end(), later);
+  Event ev = std::move(heap.back());
+  heap.pop_back();
+  return ev;
+}
+
+/// Per-thread execution context of the sharded executor. Only shard worker
+/// threads set it; the coordinator (and every other thread) falls back to
+/// the barrier clock / control context.
+struct ExecContext {
+  const void* executor = nullptr;
+  double now = 0.0;
+  OwnerId owner = kControlOwner;
+  std::uint32_t shard = 0;
+};
+
+thread_local ExecContext tls_ctx;
+
+// ---------------------------------------------------------------------------
+// SequentialExecutor — the extracted single-threaded event loop
+// ---------------------------------------------------------------------------
+
+class SequentialExecutor final : public EventExecutor {
+ public:
+  void schedule(double t, OwnerId owner, Callback fn) override {
+    FTBB_CHECK_MSG(t >= now_, "Kernel::at: scheduling into the past");
+    FTBB_CHECK(owner >= kControlOwner);
+    heap_push(heap_, Event{t, cur_owner_, next_seq(cur_owner_), owner, std::move(fn)});
+  }
+
+  [[nodiscard]] double now() const override { return now_; }
+
+  [[nodiscard]] OwnerId current_owner() const override { return cur_owner_; }
+
+  RunResult run(double time_limit, std::uint64_t event_limit) override {
+    RunResult res;
+    while (!heap_.empty()) {
+      if (heap_.front().t > time_limit) {
+        res.hit_time_limit = true;
+        // Advance the clock so a caller can resume with a larger limit.
+        now_ = std::max(now_, time_limit);
+        cur_owner_ = kControlOwner;
+        return res;
+      }
+      if (res.events >= event_limit) {
+        res.hit_event_limit = true;
+        cur_owner_ = kControlOwner;
+        return res;
+      }
+      Event ev = heap_pop(heap_);
+      now_ = ev.t;
+      cur_owner_ = ev.owner;
+      ++res.events;
+      ev.fn();
+    }
+    cur_owner_ = kControlOwner;
+    res.drained = true;
+    return res;
+  }
+
+  [[nodiscard]] bool empty() const override { return heap_.empty(); }
+  [[nodiscard]] std::size_t queued() const override { return heap_.size(); }
+
+ private:
+  std::uint64_t next_seq(OwnerId src) {
+    const auto idx = static_cast<std::size_t>(src + 1);
+    if (idx >= seq_.size()) seq_.resize(idx + 1, 0);
+    return seq_[idx]++;
+  }
+
+  std::vector<Event> heap_;
+  std::vector<std::uint64_t> seq_;  // per scheduling context, index src + 1
+  double now_ = 0.0;
+  OwnerId cur_owner_ = kControlOwner;
+};
+
+// ---------------------------------------------------------------------------
+// ShardedExecutor — conservative-lookahead parallel dispatch
+// ---------------------------------------------------------------------------
+
+class ShardedExecutor final : public EventExecutor {
+ public:
+  explicit ShardedExecutor(const ExecutorConfig& config)
+      : lookahead_(config.lookahead),
+        nodes_(config.nodes),
+        shard_count_(std::min(config.threads, std::max(config.nodes, 1u))),
+        seq_(static_cast<std::size_t>(config.nodes) + 1, 0) {
+    FTBB_CHECK(lookahead_ > 0.0);
+    FTBB_CHECK(shard_count_ >= 1);
+    shards_.reserve(shard_count_);
+    for (std::uint32_t i = 0; i < shard_count_; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  void schedule(double t, OwnerId owner, Callback fn) override {
+    const bool on_shard_thread = tls_ctx.executor == this;
+    const OwnerId src = on_shard_thread ? tls_ctx.owner : barrier_owner_;
+    const double ref_now = on_shard_thread ? tls_ctx.now : barrier_now_;
+    FTBB_CHECK_MSG(t >= ref_now, "Kernel::at: scheduling into the past");
+    FTBB_CHECK_MSG(owner >= kControlOwner && owner < static_cast<OwnerId>(nodes_),
+                   "ShardedExecutor: owner id outside [control, nodes)");
+    // Contexts are single-shard (control runs only at barriers), so the
+    // per-context counter has exactly one writer and stamps are race-free.
+    Event ev{t, src, seq_[static_cast<std::size_t>(src + 1)]++, owner, std::move(fn)};
+    if (owner == kControlOwner) {
+      FTBB_CHECK_MSG(src == kControlOwner,
+                     "only the control context may schedule control events");
+      heap_push(control_, std::move(ev));
+      return;
+    }
+    Shard& dest = *shards_[static_cast<std::uint32_t>(owner) % shard_count_];
+    if (on_shard_thread &&
+        tls_ctx.shard != static_cast<std::uint32_t>(owner) % shard_count_) {
+      // Cross-shard: lands in the mailbox, merged at the next barrier. That
+      // is only sound when t lies beyond any window that could be in flight;
+      // abort loudly instead of silently diverging from the sequential order
+      // if a caller ever schedules cross-node closer than the lookahead.
+      FTBB_CHECK_MSG(t >= tls_ctx.now + lookahead_,
+                     "ShardedExecutor: cross-shard event closer than the lookahead");
+      const std::lock_guard<std::mutex> lock(dest.mail_mu);
+      dest.mailbox.push_back(std::move(ev));
+    } else {
+      // Own heap (same shard), or the coordinator with every shard
+      // quiescent (pre-run, post-run, or a control event at a barrier).
+      heap_push(dest.heap, std::move(ev));
+    }
+  }
+
+  [[nodiscard]] double now() const override {
+    return tls_ctx.executor == this ? tls_ctx.now : barrier_now_;
+  }
+
+  [[nodiscard]] OwnerId current_owner() const override {
+    return tls_ctx.executor == this ? tls_ctx.owner : barrier_owner_;
+  }
+
+  RunResult run(double time_limit, std::uint64_t event_limit) override {
+    RunResult res;
+    for (auto& shard : shards_) shard->events = 0;
+    std::vector<std::thread> threads;
+    threads.reserve(shard_count_);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = false;
+    }
+    for (std::uint32_t i = 0; i < shard_count_; ++i) {
+      threads.emplace_back([this, i] { shard_main(i); });
+    }
+
+    std::uint64_t control_events = 0;
+    for (;;) {
+      drain_mailboxes();
+      double next_shard = std::numeric_limits<double>::infinity();
+      for (const auto& shard : shards_) {
+        if (!shard->heap.empty()) {
+          next_shard = std::min(next_shard, shard->heap.front().t);
+        }
+      }
+      const double next_control =
+          control_.empty() ? std::numeric_limits<double>::infinity()
+                           : control_.front().t;
+      const double next_t = std::min(next_shard, next_control);
+      if (next_t == std::numeric_limits<double>::infinity()) {
+        res.drained = true;
+        break;
+      }
+      if (next_t > time_limit) {
+        res.hit_time_limit = true;
+        barrier_now_ = std::max(barrier_now_, time_limit);
+        break;
+      }
+      std::uint64_t total = control_events;
+      for (const auto& shard : shards_) total += shard->events;
+      if (total >= event_limit) {
+        res.hit_event_limit = true;
+        break;
+      }
+      // Execute every control-stamped event at next_t — control-owned
+      // events in the control heap, plus node-owned events that were
+      // scheduled from the control context (late joins, revive timers) and
+      // sit atop shard heaps — at a barrier, in sequence order. The
+      // comparator sorts src = -1 before node stamps at equal time, so these
+      // are exactly the events that precede every same-time node-stamped
+      // event in the canonical order, and they always surface at their
+      // shard's heap top. They may touch cross-node state exactly like on
+      // the sequential kernel.
+      bool ran_control = false;
+      for (;;) {
+        std::vector<Event>* source = nullptr;
+        std::uint64_t best_seq = 0;
+        if (!control_.empty() && control_.front().t == next_t) {
+          source = &control_;
+          best_seq = control_.front().seq;
+        }
+        for (const auto& shard : shards_) {
+          std::vector<Event>& heap = shard->heap;
+          if (!heap.empty() && heap.front().t == next_t &&
+              heap.front().src == kControlOwner &&
+              (source == nullptr || heap.front().seq < best_seq)) {
+            source = &heap;
+            best_seq = heap.front().seq;
+          }
+        }
+        if (source == nullptr) break;
+        Event ev = heap_pop(*source);
+        barrier_now_ = next_t;
+        // The executing event's owner becomes the scheduling context, so a
+        // barrier-run join stamps its follow-ups exactly like the
+        // sequential kernel does.
+        barrier_owner_ = ev.owner;
+        ++control_events;
+        ev.fn();
+        barrier_owner_ = kControlOwner;
+        ran_control = true;
+      }
+      if (ran_control) continue;
+      // Parallel window [next_t, W): every cross-shard effect of an event in
+      // the window lands at >= next_t + lookahead >= W, and no control event
+      // precedes W, so shards cannot observe each other mid-window.
+      const double window_end = std::min(next_t + lookahead_, next_control);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        window_end_ = window_end;
+        window_time_limit_ = time_limit;
+        done_count_ = 0;
+        ++generation_;
+      }
+      cv_work_.notify_all();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_done_.wait(lock, [this] { return done_count_ == shard_count_; });
+      }
+      for (const auto& shard : shards_) {
+        barrier_now_ = std::max(barrier_now_, shard->last_time);
+      }
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (std::thread& thread : threads) thread.join();
+    res.events = control_events;
+    for (const auto& shard : shards_) res.events += shard->events;
+    return res;
+  }
+
+  [[nodiscard]] bool empty() const override { return queued() == 0; }
+
+  [[nodiscard]] std::size_t queued() const override {
+    // Only meaningful at quiescence (before/after run, or at a barrier);
+    // shard heaps have no lock, so an in-handler call would be a data race.
+    FTBB_CHECK_MSG(tls_ctx.executor != this,
+                   "ShardedExecutor: queued()/empty() called from a handler");
+    std::size_t n = control_.size();
+    for (const auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mail_mu);
+      n += shard->heap.size() + shard->mailbox.size();
+    }
+    return n;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<Event> heap;       // touched by the owner thread in-window,
+                                   // by the coordinator at barriers
+    std::mutex mail_mu;
+    std::vector<Event> mailbox;    // cross-shard arrivals for later windows
+    std::uint64_t events = 0;
+    double last_time = 0.0;
+  };
+
+  void drain_mailboxes() {
+    for (auto& shard : shards_) {
+      const std::lock_guard<std::mutex> lock(shard->mail_mu);
+      for (Event& ev : shard->mailbox) heap_push(shard->heap, std::move(ev));
+      shard->mailbox.clear();
+    }
+  }
+
+  void shard_main(std::uint32_t index) {
+    tls_ctx = ExecContext{this, 0.0, kControlOwner, index};
+    Shard& shard = *shards_[index];
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+        if (stop_) break;
+        seen_generation = generation_;
+      }
+      while (!shard.heap.empty() && shard.heap.front().t < window_end_ &&
+             shard.heap.front().t <= window_time_limit_) {
+        Event ev = heap_pop(shard.heap);
+        tls_ctx.now = ev.t;
+        tls_ctx.owner = ev.owner;
+        shard.last_time = ev.t;
+        ++shard.events;
+        ev.fn();
+      }
+      tls_ctx.owner = kControlOwner;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++done_count_;
+      }
+      cv_done_.notify_one();
+    }
+    tls_ctx = ExecContext{};
+  }
+
+  const double lookahead_;
+  const std::uint32_t nodes_;
+  const std::uint32_t shard_count_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<Event> control_;
+  std::vector<std::uint64_t> seq_;  // per scheduling context, index src + 1;
+                                    // each context is single-threaded
+  double barrier_now_ = 0.0;
+  OwnerId barrier_owner_ = kControlOwner;  // context of a barrier-run event
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;
+  std::uint32_t done_count_ = 0;
+  bool stop_ = false;
+  double window_end_ = 0.0;
+  double window_time_limit_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<EventExecutor> make_executor(const ExecutorConfig& config) {
+  if (config.threads > 1 && config.lookahead > 0.0 && config.nodes > 1) {
+    return std::make_unique<ShardedExecutor>(config);
+  }
+  return std::make_unique<SequentialExecutor>();
+}
+
+std::uint32_t parse_threads_flag(int argc, char** argv) {
+  std::uint32_t threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      const long value = std::strtol(arg + 10, nullptr, 10);
+      if (value > 0) threads = static_cast<std::uint32_t>(std::min(value, 256L));
+    }
+  }
+  return threads;
+}
+
+std::uint32_t resolve_sim_threads(std::uint32_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("FTBB_SIM_THREADS")) {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<std::uint32_t>(std::min(value, 256L));
+  }
+  return 1;
+}
+
+}  // namespace ftbb::sim

@@ -1,0 +1,112 @@
+// Event-loop policy of the discrete-event kernel (the Parsec substitute).
+//
+// The kernel used to be one class with one hard-wired dispatch loop; this
+// header extracts the loop into an EventExecutor so the same simulation code
+// can run single-threaded (SequentialExecutor) or sharded across OS threads
+// (ShardedExecutor) with *bit-identical* results.
+//
+// Determinism model. Every event carries a stamp
+//
+//     (time, scheduling context, per-context sequence number)
+//
+// assigned at schedule() time, and every executor dispatches events in the
+// total order of these stamps. The scheduling context is the owner of the
+// event being executed when schedule() is called (kControlOwner outside the
+// run loop), and the sequence counter is per-context, so the stamp does not
+// depend on how events are interleaved across shards or on the thread
+// count: a context's handlers always run in the same relative order, hence
+// issue the same stamps, in every execution. This fixed point is what makes
+// ScenarioReport fingerprints identical between the sequential kernel and
+// any sharded configuration.
+//
+// Sharding model (conservative lookahead, Chandy–Misra–Bryant style).
+// Events are owned by a node; node n executes on shard n % threads. Nodes
+// only influence each other through cross-node events scheduled at least
+// `lookahead` in the future (the minimum network link latency), so all
+// shards may safely run the window [T, T + lookahead) in parallel, where T
+// is the earliest pending event anywhere. Cross-shard schedules land in a
+// mailbox and are merged into the destination heap at the next epoch
+// barrier — before any event of their window can run — with the canonical
+// stamp order deciding ties. kControlOwner events (fault injection, storage
+// sampling, anything scheduled from outside the run loop) always execute at
+// a barrier, with every shard quiescent, so they may touch cross-node state
+// exactly like they did on the single-threaded kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+
+namespace ftbb::sim {
+
+using Callback = std::function<void()>;
+
+/// Event owner: a simulated node id, or kControlOwner for the control
+/// context (fault injection / sampling / pre-run scheduling). Control events
+/// order before same-time node events, matching the old kernel where fault
+/// schedules were enqueued first and therefore won insertion-order ties.
+using OwnerId = std::int32_t;
+constexpr OwnerId kControlOwner = -1;
+
+struct ExecutorConfig {
+  /// Dispatch threads. <= 1, or a non-positive lookahead, selects the
+  /// sequential executor; the canonical order makes the choice invisible to
+  /// results either way.
+  std::uint32_t threads = 1;
+  /// Number of simulated nodes (owner ids are in [0, nodes)). The sharded
+  /// executor sizes its per-context sequence counters from this; the
+  /// sequential executor grows them on demand.
+  std::uint32_t nodes = 0;
+  /// Minimum virtual-time distance of any cross-node event (the minimum
+  /// network link latency). Must be > 0 to shard.
+  double lookahead = 0.0;
+};
+
+struct RunResult {
+  std::uint64_t events = 0;
+  bool drained = false;       // queue emptied
+  bool hit_time_limit = false;
+  bool hit_event_limit = false;
+};
+
+class EventExecutor {
+ public:
+  virtual ~EventExecutor() = default;
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now) on `owner`'s event
+  /// stream. The canonical stamp is assigned here from the calling context.
+  virtual void schedule(double t, OwnerId owner, Callback fn) = 0;
+
+  /// Virtual time of the event being executed on the calling thread, or the
+  /// global clock (last dispatched / barrier time) outside a handler.
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// Owner of the event being executed on the calling thread, or
+  /// kControlOwner outside a handler.
+  [[nodiscard]] virtual OwnerId current_owner() const = 0;
+
+  /// Dispatches events in canonical stamp order until the queue drains or a
+  /// limit is hit. On a time-limit stop the clock advances to `time_limit`
+  /// and the remaining events stay queued, so callers can resume with a
+  /// larger limit. The event limit is a livelock backstop; the sharded
+  /// executor checks it at window boundaries and may overshoot by up to one
+  /// window of events.
+  virtual RunResult run(double time_limit, std::uint64_t event_limit) = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::size_t queued() const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<EventExecutor> make_executor(const ExecutorConfig& config);
+
+/// Thread-count resolution shared by every entry point that exposes
+/// --threads / config knobs: an explicit `configured` > 0 wins, else the
+/// FTBB_SIM_THREADS environment variable, else 1 (sequential).
+[[nodiscard]] std::uint32_t resolve_sim_threads(std::uint32_t configured);
+
+/// Scans argv for a `--threads=N` flag; returns N, or 0 when absent (which
+/// sim_threads fields treat as "consult FTBB_SIM_THREADS, else sequential").
+[[nodiscard]] std::uint32_t parse_threads_flag(int argc, char** argv);
+
+}  // namespace ftbb::sim

@@ -84,6 +84,55 @@ FaultPlan& FaultPlan::bounce(std::uint32_t node, double crash_time,
   return *this;
 }
 
+FaultPlan FaultPlan::flaky_link(std::uint32_t from, std::uint32_t to, double start,
+                                double stop, double prob, double period) {
+  FTBB_CHECK(stop > start && period > 0.0);
+  FaultPlan plan;
+  for (double t = start; t < stop; t += 2.0 * period) {
+    const double t1 = std::min(t + period, stop);
+    plan.link_loss(from, to, t, t1, prob);
+    plan.link_loss(to, from, t, t1, prob);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::rolling_restart(std::uint32_t first, std::uint32_t count,
+                                     double start, double stagger,
+                                     double downtime) {
+  FTBB_CHECK(count > 0 && stagger >= 0.0 && downtime > 0.0);
+  FaultPlan plan;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const double down = start + stagger * i;
+    plan.bounce(first + i, down, down + downtime);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::flapping_partition(std::uint32_t flaps, double start,
+                                        double width, double gap) {
+  FTBB_CHECK(flaps > 0 && width > 0.0 && gap >= 0.0);
+  FaultPlan plan;
+  for (std::uint32_t i = 0; i < flaps; ++i) {
+    const double t0 = start + (width + gap) * i;
+    plan.split_halves(t0, t0 + width);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::adversarial_churn(std::uint32_t first, std::uint32_t arrivals,
+                                       double start, double period) {
+  FTBB_CHECK(arrivals > 0 && period > 0.0);
+  FaultPlan plan;
+  plan.churn(first, arrivals, start, period);
+  for (std::uint32_t i = 1; i < arrivals; i += 2) {
+    // Every second arrival lives for two periods, dies, and returns.
+    const double joined = start + period * i;
+    plan.bounce(first + i, joined + 2.0 * period, joined + 3.0 * period);
+  }
+  plan.loss(start, start + period * (arrivals + 4), 0.05);
+  return plan;
+}
+
 bool FaultPlan::empty() const {
   return crashes_.empty() && rejoins_.empty() && joins_.empty() &&
          partitions_.empty() && loss_rules_.empty();

@@ -96,6 +96,36 @@ class FaultPlan {
   /// the canonical bounce, counted as churn as well as crash+rejoin.
   FaultPlan& bounce(std::uint32_t node, double crash_time, double rejoin_time);
 
+  // ---- named plans (the scenario corpus) ----
+  //
+  // Each factory builds one archetypal adversity schedule from a handful of
+  // shape parameters; tests pin the resulting ScenarioReport fingerprints as
+  // golden regression data, so these schedules double as the kernel's
+  // cross-executor determinism corpus.
+
+  /// A flaky cable: the directed links from<->to lose `prob` of their
+  /// messages during every other `period`-wide window of [start, stop)
+  /// (loss on, loss off, loss on, ...).
+  static FaultPlan flaky_link(std::uint32_t from, std::uint32_t to, double start,
+                              double stop, double prob, double period);
+
+  /// A rolling restart: nodes first..first+count-1 bounce one after another,
+  /// `stagger` apart, each staying down for `downtime`.
+  static FaultPlan rolling_restart(std::uint32_t first, std::uint32_t count,
+                                   double start, double stagger, double downtime);
+
+  /// A flapping fabric: the population splits into halves `flaps` times;
+  /// each split lasts `width` and heals for `gap` before the next one.
+  static FaultPlan flapping_partition(std::uint32_t flaps, double start,
+                                      double width, double gap);
+
+  /// The paper's dynamic resource pool at its most hostile: `arrivals` extra
+  /// members trickle in one `period` apart from `start`, every second
+  /// arrival bounces shortly after joining, and the whole episode runs under
+  /// background loss.
+  static FaultPlan adversarial_churn(std::uint32_t first, std::uint32_t arrivals,
+                                     double start, double period);
+
   // ---- queries (used by ScenarioRunner and tests) ----
 
   [[nodiscard]] const std::vector<CrashSpec>& crashes() const { return crashes_; }

@@ -2,87 +2,69 @@
 //
 // Parsec models processes as objects exchanging time-stamped messages; the
 // kernel here provides the same primitive: schedule a callback at a virtual
-// time, dispatch callbacks in (time, insertion-sequence) order. The
-// sequence tie-break makes runs bit-reproducible for equal timestamps.
+// time, dispatch callbacks in canonical stamp order (see executor.hpp). The
+// event-loop policy lives behind EventExecutor: the default is the classic
+// single-threaded loop, and an ExecutorConfig with threads > 1 and a
+// positive lookahead shards per-node event streams across OS threads with
+// bit-identical results.
+//
+// Events are tagged with an owner (a node id, or kControlOwner): the owner
+// decides which shard dispatches the event. The one-argument at()/after()
+// inherit the owner of the event being executed, which is right for
+// self-scheduling (timers, wakes, continuations); cross-node deliveries
+// must name the destination explicitly.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <vector>
+#include <utility>
 
+#include "sim/executor.hpp"
 #include "support/check.hpp"
 
 namespace ftbb::sim {
 
 class Kernel {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
+  using RunResult = sim::RunResult;
 
-  [[nodiscard]] double now() const { return now_; }
+  Kernel() : Kernel(ExecutorConfig{}) {}
+  explicit Kernel(const ExecutorConfig& config) : exec_(make_executor(config)) {}
 
-  /// Schedules `fn` at absolute virtual time `t` (>= now, clock is monotone).
+  [[nodiscard]] double now() const { return exec_->now(); }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= now, clock is monotone)
+  /// on the current context's own event stream.
   void at(double t, Callback fn) {
-    FTBB_CHECK_MSG(t >= now_, "Kernel::at: scheduling into the past");
-    queue_.push(Event{t, next_seq_++, std::move(fn)});
+    exec_->schedule(t, exec_->current_owner(), std::move(fn));
+  }
+
+  /// Schedules `fn` at `t` on `owner`'s event stream (cross-node delivery).
+  void at(double t, OwnerId owner, Callback fn) {
+    exec_->schedule(t, owner, std::move(fn));
   }
 
   /// Schedules `fn` `delay` seconds from now.
-  void after(double delay, Callback fn) { at(now_ + delay, std::move(fn)); }
-
-  struct RunResult {
-    std::uint64_t events = 0;
-    bool drained = false;       // queue emptied
-    bool hit_time_limit = false;
-    bool hit_event_limit = false;
-  };
-
-  /// Dispatches events until the queue drains or a limit is hit. The event
-  /// limit is a livelock backstop for tests.
-  RunResult run(double time_limit = std::numeric_limits<double>::infinity(),
-                std::uint64_t event_limit = 500'000'000ULL) {
-    RunResult res;
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (top.t > time_limit) {
-        res.hit_time_limit = true;
-        return res;
-      }
-      if (res.events >= event_limit) {
-        res.hit_event_limit = true;
-        return res;
-      }
-      // std::priority_queue::top is const; the callback must be moved out
-      // before pop. const_cast is confined to this one extraction point.
-      Callback fn = std::move(const_cast<Event&>(top).fn);
-      now_ = top.t;
-      queue_.pop();
-      ++res.events;
-      fn();
-    }
-    res.drained = true;
-    return res;
+  void after(double delay, Callback fn) { at(now() + delay, std::move(fn)); }
+  void after(double delay, OwnerId owner, Callback fn) {
+    at(now() + delay, owner, std::move(fn));
   }
 
-  [[nodiscard]] bool empty() const { return queue_.empty(); }
-  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  /// Dispatches events until the queue drains or a limit is hit. The event
+  /// limit is a livelock backstop for tests. After a time-limit stop the
+  /// clock stands at `time_limit` and the queue keeps the remaining events,
+  /// so a caller can resume by running again with a larger limit.
+  RunResult run(double time_limit = std::numeric_limits<double>::infinity(),
+                std::uint64_t event_limit = 500'000'000ULL) {
+    return exec_->run(time_limit, event_limit);
+  }
+
+  [[nodiscard]] bool empty() const { return exec_->empty(); }
+  [[nodiscard]] std::size_t queued() const { return exec_->queued(); }
 
  private:
-  struct Event {
-    double t;
-    std::uint64_t seq;
-    Callback fn;
-
-    bool operator>(const Event& other) const {
-      if (t != other.t) return t > other.t;
-      return seq > other.seq;
-    }
-  };
-
-  double now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unique_ptr<EventExecutor> exec_;
 };
 
 }  // namespace ftbb::sim

@@ -7,6 +7,15 @@
 // can be partitioned for a time window; messages are never duplicated,
 // corrupted, or spontaneously created, and delivery time is unbounded only
 // through loss (a lost message never arrives).
+//
+// Concurrency & determinism: all loss and jitter draws for messages leaving
+// node n come from n's private stream, in n's deterministic send order, and
+// all counters live in per-node channels written only by that node's shard
+// (sends by the source, deliveries by the destination). The sharded and
+// sequential executors therefore see identical drops, latencies, and
+// stats — nothing depends on how sends from different nodes interleave.
+// Delivery events are owned by the destination node, which is what routes
+// them to the right shard.
 #pragma once
 
 #include <cstdint>
@@ -61,44 +70,93 @@ class Network {
     std::uint64_t bytes_delivered = 0;
   };
 
-  Network(Kernel* kernel, NetConfig config, support::Rng rng)
-      : kernel_(kernel), config_(config), rng_(rng) {}
+  /// `nodes` bounds the node ids used with send(); each node gets a private
+  /// draw stream split from `rng` and a private counter block.
+  Network(Kernel* kernel, NetConfig config, support::Rng rng, std::uint32_t nodes)
+      : kernel_(kernel), config_(std::move(config)) {
+    channels_.reserve(nodes);
+    for (std::uint32_t n = 0; n < nodes; ++n) {
+      channels_.emplace_back(rng.split(n));
+    }
+  }
+
+  /// The guaranteed minimum latency of any message under `config` — the
+  /// conservative lookahead a sharded executor may rely on.
+  [[nodiscard]] static double min_latency(const NetConfig& config) {
+    const double jitter = config.jitter_frac > 0.0 ? config.jitter_frac : 0.0;
+    const double floor = config.latency_fixed * (1.0 - jitter);
+    return floor > 0.0 ? floor : 0.0;
+  }
 
   void add_partition(Partition p) { partitions_.push_back(std::move(p)); }
 
   /// Transmits `bytes` departing at `departure` (>= kernel time; senders may
-  /// be in the middle of a charged busy period); `deliver` runs at arrival
-  /// unless the message is lost. Returns false when dropped.
+  /// be in the middle of a charged busy period); `deliver` runs at arrival —
+  /// on the destination node's event stream — unless the message is lost.
+  /// Returns false when dropped. Must be called from the sending node's own
+  /// context (or from the control context while shards are quiescent).
   bool send(std::uint32_t from, std::uint32_t to, std::size_t bytes, double departure,
             std::function<void()> deliver) {
-    ++stats_.messages_sent;
-    stats_.bytes_sent += bytes;
+    FTBB_CHECK(from < channels_.size() && to < channels_.size());
+    Channel& src = channels_[from];
+    ++src.messages_sent;
+    src.bytes_sent += bytes;
     if (blocked_by_partition(from, to, departure)) {
-      ++stats_.messages_partitioned;
+      ++src.messages_partitioned;
       return false;
     }
     const double p = loss_probability(from, to, departure);
-    if (p > 0.0 && rng_.chance(p)) {
-      ++stats_.messages_lost;
+    if (p > 0.0 && src.rng.chance(p)) {
+      ++src.messages_lost;
       return false;
     }
     double latency = config_.latency_fixed +
                      config_.latency_per_byte * static_cast<double>(bytes);
     if (config_.jitter_frac > 0.0) {
-      latency *= rng_.uniform(1.0 - config_.jitter_frac, 1.0 + config_.jitter_frac);
+      latency *= src.rng.uniform(1.0 - config_.jitter_frac, 1.0 + config_.jitter_frac);
     }
-    stats_.bytes_delivered += bytes;
-    kernel_->at(departure + latency, [this, deliver = std::move(deliver)]() {
-      ++stats_.messages_delivered;
-      deliver();
-    });
+    src.bytes_delivered += bytes;
+    kernel_->at(departure + latency, static_cast<OwnerId>(to),
+                [this, to, deliver = std::move(deliver)]() {
+                  ++channels_[to].messages_delivered;
+                  deliver();
+                });
     return true;
   }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// Aggregate counters over every node channel.
+  [[nodiscard]] Stats stats() const {
+    Stats total;
+    for (const Channel& channel : channels_) {
+      total.messages_sent += channel.messages_sent;
+      total.messages_delivered += channel.messages_delivered;
+      total.messages_lost += channel.messages_lost;
+      total.messages_partitioned += channel.messages_partitioned;
+      total.bytes_sent += channel.bytes_sent;
+      total.bytes_delivered += channel.bytes_delivered;
+    }
+    return total;
+  }
+
   [[nodiscard]] const NetConfig& config() const { return config_; }
 
  private:
+  /// Per-node channel: the draw stream and counters for traffic this node
+  /// originates, plus the delivery counter for traffic it receives. Both
+  /// sides are written only on the node's own shard (sends execute in the
+  /// source's context, deliveries in the destination's), so there is exactly
+  /// one writer per channel; alignas keeps channels off shared cache lines.
+  struct alignas(64) Channel {
+    explicit Channel(support::Rng r) : rng(r) {}
+    support::Rng rng;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_lost = 0;
+    std::uint64_t messages_partitioned = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_delivered = 0;  // counted at send, like bytes_sent
+    std::uint64_t messages_delivered = 0;
+  };
+
   /// Combined loss probability for one transmission: the base rate and every
   /// matching active rule act as independent loss sources, so survival
   /// probabilities multiply. Exactly one RNG draw is consumed per at-risk
@@ -133,9 +191,8 @@ class Network {
 
   Kernel* kernel_;
   NetConfig config_;
-  support::Rng rng_;
+  std::vector<Channel> channels_;
   std::vector<Partition> partitions_;
-  Stats stats_;
 };
 
 }  // namespace ftbb::sim

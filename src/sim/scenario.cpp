@@ -116,6 +116,7 @@ ScenarioReport run_ftbb(const ScenarioSpec& spec, const FaultPlan& plan,
   ClusterConfig cfg;
   cfg.workers = population;
   cfg.worker = spec.worker;
+  cfg.sim_threads = spec.sim_threads;
   cfg.net = spec.net;
   for (const LossRule& rule : plan.loss_rules()) {
     cfg.net.loss_rules.push_back(rule);
@@ -182,9 +183,11 @@ ScenarioReport run_central(const ScenarioSpec& spec, const FaultPlan& plan,
     net.loss_rules.push_back(rule);
   }
 
+  central::CentralConfig central_cfg = spec.central;
+  central_cfg.sim_threads = spec.sim_threads;
   const central::CentralResult res =
       central::CentralSim::run_with_faults(*workload.model, population,
-                                           spec.central, net, faults,
+                                           central_cfg, net, faults,
                                            spec.time_limit, spec.seed);
 
   ScenarioReport report;
@@ -219,8 +222,10 @@ ScenarioReport run_dib(const ScenarioSpec& spec, const FaultPlan& plan,
   NetConfig net = spec.net;
   for (const LossRule& rule : plan.loss_rules()) net.loss_rules.push_back(rule);
 
+  dib::DibConfig dib_cfg = spec.dib;
+  dib_cfg.sim_threads = spec.sim_threads;
   const dib::DibResult res =
-      dib::DibSim::run_with_faults(*workload.model, population, spec.dib, net,
+      dib::DibSim::run_with_faults(*workload.model, population, dib_cfg, net,
                                    faults, spec.time_limit, spec.seed);
 
   ScenarioReport report;

@@ -76,6 +76,11 @@ struct ScenarioSpec {
   std::uint32_t workers = 4;  // initial population (churn can add more)
   std::uint64_t seed = 1;
   double time_limit = 600.0;  // virtual seconds
+  /// Simulation dispatch threads for whichever backend runs the scenario:
+  /// > 1 shards per-node event streams across OS threads (reports stay
+  /// bit-identical to the sequential kernel); 0 consults FTBB_SIM_THREADS,
+  /// else sequential. Never part of the fingerprint.
+  std::uint32_t sim_threads = 0;
   NetConfig net;
   FaultPlan faults;
 

@@ -459,5 +459,63 @@ TEST(Cluster, TraceRecordsActivityAndDeath) {
   EXPECT_NE(chart.find('X'), std::string::npos);
 }
 
+TEST(Cluster, ShardedExecutorMatchesSequentialBitForBit) {
+  // Every observable of ClusterResult — per-worker stats, the redundant-cost
+  // double, storage peaks, network counters, the activity timeline — must be
+  // byte-equal between the sequential kernel and sharded runs, under a
+  // schedule exercising crash, rejoin, partition, and loss at once.
+  const BasicTree tree = test_tree(97);
+  TreeProblem problem(&tree);
+  ClusterConfig cfg = base_config(6, 97);
+  cfg.record_trace = true;
+  cfg.net.loss_prob = 0.05;
+  cfg.crashes = {{1, 0.05}};
+  cfg.rejoins = {{1, 0.2}};
+  cfg.partitions = {Partition{0.08, 0.15, {0, 0, 0, 1, 1, 1}}};
+  cfg.sim_threads = 1;
+  const ClusterResult seq = SimCluster::run(problem, cfg);
+  ASSERT_TRUE(seq.all_live_halted);
+  for (const std::uint32_t threads : {2u, 4u}) {
+    cfg.sim_threads = threads;
+    const ClusterResult par = SimCluster::run(problem, cfg);
+    EXPECT_EQ(seq.solution, par.solution);
+    EXPECT_EQ(seq.makespan, par.makespan);
+    EXPECT_EQ(seq.first_detection, par.first_detection);
+    EXPECT_EQ(seq.total_expanded, par.total_expanded);
+    EXPECT_EQ(seq.unique_expanded, par.unique_expanded);
+    EXPECT_EQ(seq.redundant_expansions, par.redundant_expansions);
+    EXPECT_EQ(seq.redundant_cost, par.redundant_cost);  // exact, not NEAR
+    EXPECT_EQ(seq.total_completions, par.total_completions);
+    EXPECT_EQ(seq.peak_table_bytes_total, par.peak_table_bytes_total);
+    EXPECT_EQ(seq.peak_table_bytes_unique, par.peak_table_bytes_unique);
+    EXPECT_EQ(seq.final_table_bytes_total, par.final_table_bytes_total);
+    EXPECT_EQ(seq.net.messages_sent, par.net.messages_sent);
+    EXPECT_EQ(seq.net.messages_delivered, par.net.messages_delivered);
+    EXPECT_EQ(seq.net.messages_lost, par.net.messages_lost);
+    EXPECT_EQ(seq.net.bytes_sent, par.net.bytes_sent);
+    ASSERT_EQ(seq.workers.size(), par.workers.size());
+    for (std::size_t w = 0; w < seq.workers.size(); ++w) {
+      for (int k = 0; k < core::kCostKinds; ++k) {
+        EXPECT_EQ(seq.workers[w].time[k], par.workers[w].time[k])
+            << "worker " << w << " kind " << k << " threads " << threads;
+      }
+      EXPECT_EQ(seq.workers[w].expanded, par.workers[w].expanded);
+      EXPECT_EQ(seq.workers[w].msgs_sent, par.workers[w].msgs_sent);
+      EXPECT_EQ(seq.workers[w].halted_at, par.workers[w].halted_at);
+      EXPECT_EQ(seq.incumbents[w], par.incumbents[w]);
+      EXPECT_EQ(seq.crashed[w], par.crashed[w]);
+    }
+    const auto& a = seq.timeline.intervals();
+    const auto& b = par.timeline.intervals();
+    ASSERT_EQ(a.size(), b.size()) << "threads " << threads;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].proc, b[i].proc);
+      EXPECT_EQ(a[i].t0, b[i].t0);
+      EXPECT_EQ(a[i].t1, b[i].t1);
+      EXPECT_EQ(a[i].activity, b[i].activity);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ftbb::sim

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sim/kernel.hpp"
+#include "sim/scenario.hpp"
 
 namespace ftbb::sim {
 namespace {
@@ -88,6 +91,105 @@ TEST(KernelDeath, SchedulingIntoThePastAborts) {
   Kernel k;
   k.at(5.0, [&] { k.at(1.0, [] {}); });
   ASSERT_DEATH(k.run(), "scheduling into the past");
+}
+
+TEST(Kernel, TimeLimitAdvancesClockSoCallersCanResume) {
+  Kernel k;
+  std::vector<double> fired;
+  k.at(1.0, [&] { fired.push_back(1.0); });
+  k.at(10.0, [&] { fired.push_back(10.0); });
+  const auto res = k.run(5.0);
+  EXPECT_TRUE(res.hit_time_limit);
+  EXPECT_DOUBLE_EQ(k.now(), 5.0);
+  // Scheduling between the limit and the queued tail is legal now, and a
+  // second run() picks up where the first stopped.
+  k.at(6.0, [&] { fired.push_back(6.0); });
+  const auto res2 = k.run();
+  EXPECT_TRUE(res2.drained);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 6.0, 10.0}));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded executor: canonical order must be invisible to the thread count
+// ---------------------------------------------------------------------------
+
+/// Runs an 8-node message mesh where every hop lands on the *same* virtual
+/// timestamp on every node (t = 1 + k * lookahead) — the densest possible
+/// same-time cross-shard tie storm — and returns each node's observation
+/// log. Each log entry is (time, sender), appended by the owning node only.
+std::vector<std::vector<std::pair<double, int>>> run_mesh(std::uint32_t threads) {
+  constexpr std::uint32_t kNodes = 8;
+  constexpr double kHop = 0.5;
+  constexpr int kMaxHops = 6;
+  ExecutorConfig cfg;
+  cfg.threads = threads;
+  cfg.nodes = kNodes;
+  cfg.lookahead = kHop;
+  Kernel k(cfg);
+  std::vector<std::vector<std::pair<double, int>>> log(kNodes);
+  std::function<void(std::uint32_t, int, int)> deliver =
+      [&](std::uint32_t node, int from, int hops) {
+        log[node].emplace_back(k.now(), from);
+        if (hops >= kMaxHops) return;
+        const double next = k.now() + kHop;
+        for (const std::uint32_t step : {1u, 3u}) {
+          const std::uint32_t to = (node + step) % kNodes;
+          k.at(next, static_cast<OwnerId>(to),
+               [&deliver, to, node, hops] {
+                 deliver(to, static_cast<int>(node), hops + 1);
+               });
+        }
+      };
+  for (std::uint32_t n = 0; n < kNodes; ++n) {
+    k.at(1.0, static_cast<OwnerId>(n), [&deliver, n] { deliver(n, -1, 0); });
+  }
+  const auto res = k.run();
+  EXPECT_TRUE(res.drained);
+  return log;
+}
+
+TEST(ShardedKernel, DenseSameTimestampCrossShardEventsMatchSequential) {
+  const auto sequential = run_mesh(1);
+  EXPECT_EQ(sequential, run_mesh(2));
+  EXPECT_EQ(sequential, run_mesh(4));
+  EXPECT_EQ(sequential, run_mesh(8));  // one node per shard
+}
+
+/// End-to-end: the same scenario spec must fingerprint identically on the
+/// sequential kernel and on 2- and 4-way sharded kernels, on every backend.
+TEST(ShardedKernel, ScenarioFingerprintsMatchSequentialOnAllBackends) {
+  for (const Backend backend :
+       {Backend::kFtbb, Backend::kCentral, Backend::kDib}) {
+    ScenarioSpec spec;
+    spec.name = "executor-equality";
+    spec.backend = backend;
+    spec.workers = 4;
+    spec.seed = 77;
+    spec.time_limit = 300.0;
+    spec.workload.kind = WorkloadKind::kSyntheticTree;
+    spec.workload.size = 601;
+    spec.workload.seed = 77;
+    spec.workload.cost_mean = 2e-3;
+    spec.tune_for_small_problems();
+    // The churn joins land on the exact timestamps of the crash (t=0.05) and
+    // the partition start (t=0.1): on central/dib, late joins are node-owned
+    // events stamped by the control context, so this pins the barrier's
+    // stamp-order execution of same-time control-stamped events.
+    spec.faults.bounce(1, 0.05, 0.25)
+        .split_halves(0.1, 0.2)
+        .loss(0.0, 1e9, 0.05)
+        .churn(4, 2, 0.05, 0.05);
+    spec.sim_threads = 1;
+    const ScenarioReport sequential = ScenarioRunner::run(spec);
+    EXPECT_TRUE(sequential.completed) << sequential.to_string();
+    for (const std::uint32_t threads : {2u, 4u}) {
+      spec.sim_threads = threads;
+      const ScenarioReport sharded = ScenarioRunner::run(spec);
+      EXPECT_EQ(sequential.fingerprint(), sharded.fingerprint())
+          << "backend " << to_string(backend) << " threads " << threads << "\n"
+          << sequential.to_string() << sharded.to_string();
+    }
+  }
 }
 
 }  // namespace

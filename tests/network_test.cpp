@@ -11,7 +11,7 @@ TEST(Network, LatencyFollowsLinearModel) {
   NetConfig cfg;
   cfg.latency_fixed = 1.5e-3;
   cfg.latency_per_byte = 5e-6;
-  Network net(&k, cfg, support::Rng(1));
+  Network net(&k, cfg, support::Rng(1), 4);
   double arrival = -1.0;
   net.send(0, 1, 100, 0.0, [&] { arrival = k.now(); });
   k.run();
@@ -20,7 +20,7 @@ TEST(Network, LatencyFollowsLinearModel) {
 
 TEST(Network, DepartureTimeShiftsArrival) {
   Kernel k;
-  Network net(&k, NetConfig{}, support::Rng(1));
+  Network net(&k, NetConfig{}, support::Rng(1), 4);
   k.at(2.0, [&] {
     net.send(0, 1, 0, 3.5, [] {});  // sender was busy until 3.5
   });
@@ -28,7 +28,7 @@ TEST(Network, DepartureTimeShiftsArrival) {
   k.at(0.0, [&] {});
   // Re-send with a capture we can observe.
   Kernel k2;
-  Network net2(&k2, NetConfig{}, support::Rng(1));
+  Network net2(&k2, NetConfig{}, support::Rng(1), 4);
   net2.send(0, 1, 0, 3.5, [&] { arrival = k2.now(); });
   k2.run();
   EXPECT_NEAR(arrival, 3.5 + 1.5e-3, 1e-12);
@@ -38,7 +38,7 @@ TEST(Network, JitterBoundsLatency) {
   Kernel k;
   NetConfig cfg;
   cfg.jitter_frac = 0.5;
-  Network net(&k, cfg, support::Rng(7));
+  Network net(&k, cfg, support::Rng(7), 4);
   std::vector<double> arrivals;
   for (int i = 0; i < 200; ++i) {
     net.send(0, 1, 0, 0.0, [&] { arrivals.push_back(k.now()); });
@@ -55,7 +55,7 @@ TEST(Network, LossProbabilityOneDropsEverything) {
   Kernel k;
   NetConfig cfg;
   cfg.loss_prob = 1.0;
-  Network net(&k, cfg, support::Rng(5));
+  Network net(&k, cfg, support::Rng(5), 4);
   int delivered = 0;
   for (int i = 0; i < 50; ++i) {
     EXPECT_FALSE(net.send(0, 1, 10, 0.0, [&] { ++delivered; }));
@@ -70,7 +70,7 @@ TEST(Network, LossRateIsApproximatelyHonored) {
   Kernel k;
   NetConfig cfg;
   cfg.loss_prob = 0.25;
-  Network net(&k, cfg, support::Rng(11));
+  Network net(&k, cfg, support::Rng(11), 4);
   int delivered = 0;
   const int n = 20000;
   for (int i = 0; i < n; ++i) net.send(0, 1, 1, 0.0, [&] { ++delivered; });
@@ -80,7 +80,7 @@ TEST(Network, LossRateIsApproximatelyHonored) {
 
 TEST(Network, PartitionBlocksCrossGroupOnly) {
   Kernel k;
-  Network net(&k, NetConfig{}, support::Rng(1));
+  Network net(&k, NetConfig{}, support::Rng(1), 4);
   net.add_partition(Partition{1.0, 2.0, {0, 0, 1}});  // nodes 0,1 vs node 2
   int delivered = 0;
   // During the window: 0->1 passes, 0->2 blocked.
@@ -98,7 +98,7 @@ TEST(Network, LossRuleAppliesOnlyInsideItsWindow) {
   Kernel k;
   NetConfig cfg;
   cfg.loss_rules.push_back(LossRule{1.0, 2.0, 1.0});  // everything, 100%
-  Network net(&k, cfg, support::Rng(3));
+  Network net(&k, cfg, support::Rng(3), 4);
   int delivered = 0;
   EXPECT_TRUE(net.send(0, 1, 0, 0.5, [&] { ++delivered; }));   // before
   EXPECT_FALSE(net.send(0, 1, 0, 1.5, [&] { ++delivered; }));  // inside
@@ -112,7 +112,7 @@ TEST(Network, PerLinkLossRuleSparesOtherLinks) {
   Kernel k;
   NetConfig cfg;
   cfg.loss_rules.push_back(LossRule{0.0, 10.0, 1.0, /*from=*/0, /*to=*/1});
-  Network net(&k, cfg, support::Rng(3));
+  Network net(&k, cfg, support::Rng(3), 4);
   int delivered = 0;
   EXPECT_FALSE(net.send(0, 1, 0, 1.0, [&] { ++delivered; }));  // the bad link
   EXPECT_TRUE(net.send(1, 0, 0, 1.0, [&] { ++delivered; }));   // reverse is fine
@@ -126,7 +126,7 @@ TEST(Network, OverlappingLossSourcesCombineIndependently) {
   NetConfig cfg;
   cfg.loss_prob = 0.5;
   cfg.loss_rules.push_back(LossRule{0.0, 10.0, 0.5});
-  Network net(&k, cfg, support::Rng(17));
+  Network net(&k, cfg, support::Rng(17), 4);
   int delivered = 0;
   const int n = 20000;
   for (int i = 0; i < n; ++i) net.send(0, 1, 1, 1.0, [&] { ++delivered; });
@@ -137,7 +137,7 @@ TEST(Network, OverlappingLossSourcesCombineIndependently) {
 
 TEST(Network, StatsCountBytes) {
   Kernel k;
-  Network net(&k, NetConfig{}, support::Rng(1));
+  Network net(&k, NetConfig{}, support::Rng(1), 4);
   net.send(0, 1, 100, 0.0, [] {});
   net.send(1, 0, 50, 0.0, [] {});
   k.run();

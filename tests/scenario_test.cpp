@@ -167,6 +167,81 @@ TEST(Scenario, ReportCarriesTimelineAndDescribe) {
   EXPECT_FALSE(spec.faults.describe().empty());
 }
 
+// ---------------------------------------------------------------------------
+// Named fault-plan corpus: golden fingerprints + executor equality
+// ---------------------------------------------------------------------------
+
+struct NamedPlanCase {
+  const char* name;
+  std::uint32_t workers;
+  FaultPlan plan;
+  std::uint64_t golden;  // pinned ScenarioReport fingerprint (see below)
+};
+
+/// The corpus: one archetypal schedule per named factory, with fixed shape
+/// parameters. The golden fingerprints are regression data recorded with the
+/// CI toolchain (GCC, x86-64, Release); regenerate by running the test and
+/// copying the "actual" values if the corpus or the simulator semantics
+/// deliberately change.
+std::vector<NamedPlanCase> named_plan_cases() {
+  std::vector<NamedPlanCase> cases;
+  cases.push_back({"flaky-link", 4,
+                   FaultPlan::flaky_link(0, 2, 0.02, 0.5, 0.6, 0.06),
+                   0xbedd27688b2c6af2ULL});
+  cases.push_back({"rolling-restart", 4,
+                   FaultPlan::rolling_restart(1, 3, 0.05, 0.08, 0.1),
+                   0xeecdf5c085d9481bULL});
+  cases.push_back({"flapping-partition", 4,
+                   FaultPlan::flapping_partition(3, 0.04, 0.06, 0.05),
+                   0xd6ad87d9d9192decULL});
+  cases.push_back({"adversarial-churn", 2,
+                   FaultPlan::adversarial_churn(2, 3, 0.05, 0.05),
+                   0xd9ce2b9abc7d04bbULL});
+  return cases;
+}
+
+ScenarioSpec named_plan_spec(const NamedPlanCase& c) {
+  ScenarioSpec spec = base_spec(c.name, Backend::kFtbb, 97);
+  spec.workers = c.workers;
+  spec.faults = c.plan;
+  return spec;
+}
+
+TEST(NamedPlans, CompleteOptimallyAndMatchGoldenFingerprints) {
+  for (const NamedPlanCase& c : named_plan_cases()) {
+    const ScenarioReport report = ScenarioRunner::run(named_plan_spec(c));
+    expect_solved(report);
+    EXPECT_EQ(report.fingerprint(), c.golden)
+        << c.name << " actual 0x" << std::hex << report.fingerprint() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST(NamedPlans, ShardedExecutorReproducesEveryGolden) {
+  for (const NamedPlanCase& c : named_plan_cases()) {
+    for (const std::uint32_t threads : {2u, 4u}) {
+      ScenarioSpec spec = named_plan_spec(c);
+      spec.sim_threads = threads;
+      const ScenarioReport report = ScenarioRunner::run(spec);
+      EXPECT_EQ(report.fingerprint(), c.golden)
+          << c.name << " with " << threads << " threads\n" << report.to_string();
+    }
+  }
+}
+
+TEST(NamedPlans, ExerciseTheIntendedFaultKinds) {
+  EXPECT_TRUE(FaultPlan::flaky_link(0, 1, 0.0, 1.0, 0.5, 0.1).has(FaultKind::kLoss));
+  const FaultPlan rolling = FaultPlan::rolling_restart(1, 2, 0.1, 0.1, 0.2);
+  EXPECT_TRUE(rolling.has(FaultKind::kCrash));
+  EXPECT_TRUE(rolling.has(FaultKind::kRejoin));
+  EXPECT_TRUE(
+      FaultPlan::flapping_partition(2, 0.0, 0.1, 0.1).has(FaultKind::kPartition));
+  const FaultPlan churny = FaultPlan::adversarial_churn(4, 3, 0.1, 0.1);
+  EXPECT_TRUE(churny.has(FaultKind::kChurn));
+  EXPECT_TRUE(churny.has(FaultKind::kLoss));
+  EXPECT_EQ(churny.max_node(), 6);
+}
+
 TEST(FaultPlan, ValidatesAndCounts) {
   FaultPlan plan;
   EXPECT_TRUE(plan.empty());
