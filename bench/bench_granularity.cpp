@@ -8,13 +8,40 @@
 // to the observed execution time per subproblem — is exactly what this
 // table shows.
 #include <cstdio>
+#include <vector>
 
 #include "bench/workloads.hpp"
+
+namespace {
+
+/// One sweep row, kept for the JSON artifact (BENCH_granularity.json).
+struct SweepSample {
+  double factor = 0.0;
+  double makespan = 0.0;
+  double efficiency = 0.0;
+  double waste = 0.0;
+  double msgs_per_node = 0.0;
+  std::uint64_t redundant = 0;
+};
+
+struct AdaptiveSample {
+  double factor = 0.0;
+  std::uint64_t fixed_timeouts = 0;
+  std::uint64_t fixed_redundant = 0;
+  double fixed_efficiency = -1.0;  // -1: did not halt in the time limit
+  std::uint64_t adaptive_timeouts = 0;
+  std::uint64_t adaptive_redundant = 0;
+  double adaptive_efficiency = -1.0;
+};
+
+}  // namespace
 
 int main() {
   using namespace ftbb;
   std::printf("E7 / granularity sweep: node cost x{0.1,0.3,1,3,10}, 8 processors\n\n");
 
+  std::vector<SweepSample> sweep;
+  std::vector<AdaptiveSample> adaptive_sweep;
   support::TextTable table({"cost factor", "mean cost (s)", "makespan (s)",
                             "efficiency", "idle+lb", "msgs/node",
                             "redundant"});
@@ -40,6 +67,11 @@ int main() {
     const double waste = (res.time_of(core::CostKind::kIdle) +
                           res.time_of(core::CostKind::kLoadBalance)) /
                          total;
+    sweep.push_back(SweepSample{
+        factor, res.makespan, ideal / res.makespan, waste,
+        static_cast<double>(res.net.messages_sent) /
+            static_cast<double>(res.total_expanded),
+        res.redundant_expansions});
     table.row({support::TextTable::num(factor, 1),
                support::TextTable::num(0.01 * factor, 3),
                support::TextTable::num(res.makespan, 2),
@@ -91,6 +123,11 @@ int main() {
       for (const auto& w : res.workers) n += w.request_timeouts;
       return n;
     };
+    adaptive_sweep.push_back(AdaptiveSample{
+        factor, timeouts(fixed), fixed.redundant_expansions,
+        fixed.all_live_halted ? ideal / fixed.makespan : -1.0,
+        timeouts(adaptive), adaptive.redundant_expansions,
+        adaptive.all_live_halted ? ideal / adaptive.makespan : -1.0});
     t2.row({support::TextTable::num(factor, 1),
             std::to_string(timeouts(fixed)),
             std::to_string(fixed.redundant_expansions),
@@ -108,5 +145,42 @@ int main() {
               "busy peers look dead -> spurious recovery -> redundant work; the\n"
               "adaptive scheme scales its patience with the observed node cost and\n"
               "keeps redundancy near zero at every granularity.\n");
+
+  FILE* json = std::fopen("BENCH_granularity.json", "w");
+  if (json == nullptr) {
+    std::printf("cannot write BENCH_granularity.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"granularity\",\n  \"workers\": 8,\n"
+                     "  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepSample& s = sweep[i];
+    std::fprintf(json,
+                 "    {\"cost_factor\": %.1f, \"makespan_s\": %.3f, "
+                 "\"efficiency\": %.4f, \"idle_lb_share\": %.4f, "
+                 "\"msgs_per_node\": %.3f, \"redundant_expansions\": %llu}%s\n",
+                 s.factor, s.makespan, s.efficiency, s.waste, s.msgs_per_node,
+                 static_cast<unsigned long long>(s.redundant),
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"adaptive_timeouts\": [\n");
+  for (std::size_t i = 0; i < adaptive_sweep.size(); ++i) {
+    const AdaptiveSample& s = adaptive_sweep[i];
+    std::fprintf(json,
+                 "    {\"cost_factor\": %.1f, \"fixed_timeouts\": %llu, "
+                 "\"fixed_redundant\": %llu, \"fixed_efficiency\": %.4f, "
+                 "\"adaptive_timeouts\": %llu, \"adaptive_redundant\": %llu, "
+                 "\"adaptive_efficiency\": %.4f}%s\n",
+                 s.factor, static_cast<unsigned long long>(s.fixed_timeouts),
+                 static_cast<unsigned long long>(s.fixed_redundant),
+                 s.fixed_efficiency,
+                 static_cast<unsigned long long>(s.adaptive_timeouts),
+                 static_cast<unsigned long long>(s.adaptive_redundant),
+                 s.adaptive_efficiency,
+                 i + 1 < adaptive_sweep.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_granularity.json\n");
   return 0;
 }

@@ -3,16 +3,25 @@
 // These ground the simulator's contraction-cost model: the per-code and
 // per-trie-node constants charged as "list contraction time" in the
 // experiments can be compared against what the real implementation costs on
-// this machine.
-#include <benchmark/benchmark.h>
+// this machine. Self-timed (no external benchmark dependency) and emits
+// BENCH_micro_codes.json so the trajectory is tracked across PRs; `--smoke`
+// shrinks the measurement windows for CI.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench/bench_timing.hpp"
 #include "bnb/basic_tree.hpp"
 #include "core/code_set.hpp"
 #include "core/messages.hpp"
+#include "support/table.hpp"
 
 namespace {
 
 using namespace ftbb;
+using bench::measure;
 using core::CodeSet;
 using core::PathCode;
 
@@ -39,112 +48,151 @@ std::vector<PathCode> leaf_codes(std::uint64_t nodes, std::uint64_t seed) {
   return out;
 }
 
-void BM_PathCodeChild(benchmark::State& state) {
-  PathCode code = PathCode::root();
-  for (std::uint32_t i = 0; i < 30; ++i) code = code.child(i, i % 2 != 0);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(code.child(31, true));
-  }
-}
-BENCHMARK(BM_PathCodeChild);
+struct Result {
+  std::string name;
+  double ops_per_sec = 0.0;
+};
 
-void BM_PathCodeEncodeDecode(benchmark::State& state) {
-  PathCode code = PathCode::root();
-  for (std::int64_t i = 0; i < state.range(0); ++i) {
-    code = code.child(static_cast<std::uint32_t>(i), i % 2 != 0);
-  }
-  for (auto _ : state) {
-    support::ByteWriter w;
-    code.encode(w);
-    support::ByteReader r(w.data());
-    benchmark::DoNotOptimize(PathCode::decode(r));
-  }
-  state.SetLabel("depth=" + std::to_string(state.range(0)));
-}
-BENCHMARK(BM_PathCodeEncodeDecode)->Arg(8)->Arg(32)->Arg(128);
-
-void BM_CodeSetInsertAllLeaves(benchmark::State& state) {
-  const auto leaves = leaf_codes(static_cast<std::uint64_t>(state.range(0)), 11);
-  for (auto _ : state) {
-    CodeSet set;
-    for (const PathCode& c : leaves) set.insert(c);
-    benchmark::DoNotOptimize(set.root_complete());
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(leaves.size()) *
-                          state.iterations());
-}
-BENCHMARK(BM_CodeSetInsertAllLeaves)->Arg(1001)->Arg(10001)->Arg(100001);
-
-void BM_CodeSetCovered(benchmark::State& state) {
-  const auto leaves = leaf_codes(10001, 13);
-  CodeSet set;
-  // Half completed -> realistic mid-run table.
-  for (std::size_t i = 0; i < leaves.size(); i += 2) set.insert(leaves[i]);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(set.covered(leaves[i]));
-    i = (i + 1) % leaves.size();
-  }
-}
-BENCHMARK(BM_CodeSetCovered);
-
-void BM_CodeSetMergeReports(benchmark::State& state) {
-  // Simulate a receiver merging 8-code work reports into a growing table.
-  const auto leaves = leaf_codes(20001, 17);
-  for (auto _ : state) {
-    CodeSet table;
-    std::vector<PathCode> report;
-    for (const PathCode& c : leaves) {
-      report.push_back(c);
-      if (report.size() == 8) {
-        table.insert_all(report);
-        report.clear();
-      }
-    }
-    benchmark::DoNotOptimize(table.code_count());
-  }
-}
-BENCHMARK(BM_CodeSetMergeReports);
-
-void BM_CodeSetComplement(benchmark::State& state) {
-  const auto leaves = leaf_codes(10001, 19);
-  CodeSet set;
-  for (std::size_t i = 0; i < leaves.size(); i += 3) set.insert(leaves[i]);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(set.complement());
-  }
-}
-BENCHMARK(BM_CodeSetComplement);
-
-void BM_CodeSetExport(benchmark::State& state) {
-  const auto leaves = leaf_codes(10001, 23);
-  CodeSet set;
-  for (std::size_t i = 0; i < leaves.size(); i += 2) set.insert(leaves[i]);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(set.export_codes());
-  }
-}
-BENCHMARK(BM_CodeSetExport);
-
-void BM_WorkReportEncodeDecode(benchmark::State& state) {
-  const auto leaves = leaf_codes(2001, 29);
-  core::Message msg;
-  msg.type = core::MsgType::kWorkReport;
-  msg.from = 3;
-  msg.best_known = -123.0;
-  for (std::int64_t i = 0; i < state.range(0); ++i) {
-    msg.codes.push_back(leaves[static_cast<std::size_t>(i) % leaves.size()]);
-  }
-  for (auto _ : state) {
-    support::ByteWriter w;
-    msg.encode(w);
-    support::ByteReader r(w.data());
-    benchmark::DoNotOptimize(core::Message::decode(r));
-  }
-  state.SetLabel("codes=" + std::to_string(state.range(0)));
-}
-BENCHMARK(BM_WorkReportEncodeDecode)->Arg(8)->Arg(64);
+volatile std::size_t g_sink = 0;  // defeats dead-code elimination
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double window = smoke ? 0.02 : 0.2;
+  std::printf("E14 / micro benchmarks of codes, tables and reports%s\n\n",
+              smoke ? " [smoke]" : "");
+  std::vector<Result> results;
+
+  {
+    PathCode code = PathCode::root();
+    for (std::uint32_t i = 0; i < 30; ++i) code = code.child(i, i % 2 != 0);
+    results.push_back({"path_code_child_depth30",
+                       measure(window, 1.0, [&] {
+                         g_sink = g_sink + code.child(31, true).depth();
+                       })});
+  }
+
+  for (const int depth : {8, 32, 128}) {
+    PathCode code = PathCode::root();
+    for (int i = 0; i < depth; ++i) {
+      code = code.child(static_cast<std::uint32_t>(i), i % 2 != 0);
+    }
+    results.push_back(
+        {"path_code_encode_decode_depth" + std::to_string(depth),
+         measure(window, 1.0, [&] {
+           support::ByteWriter w;
+           code.encode(w);
+           support::ByteReader r(w.data());
+           g_sink = g_sink + PathCode::decode(r).depth();
+         })});
+  }
+
+  for (const std::uint64_t nodes : {1001u, 10001u, 100001u}) {
+    const auto leaves = leaf_codes(nodes, 11);
+    results.push_back(
+        {"code_set_insert_all_leaves_" + std::to_string(nodes),
+         measure(window, static_cast<double>(leaves.size()), [&] {
+           CodeSet set;
+           for (const PathCode& c : leaves) set.insert(c);
+           g_sink = g_sink + (set.root_complete() ? 1 : 0);
+         })});
+  }
+
+  {
+    const auto leaves = leaf_codes(10001, 13);
+    CodeSet set;
+    // Half completed -> realistic mid-run table.
+    for (std::size_t i = 0; i < leaves.size(); i += 2) set.insert(leaves[i]);
+    std::size_t i = 0;
+    results.push_back({"code_set_covered",
+                       measure(window, 1.0, [&] {
+                         g_sink = g_sink + (set.covered(leaves[i]) ? 1 : 0);
+                         i = (i + 1) % leaves.size();
+                       })});
+  }
+
+  {
+    // A receiver merging 8-code work reports into a growing table.
+    const auto leaves = leaf_codes(20001, 17);
+    results.push_back(
+        {"code_set_merge_8code_reports",
+         measure(window, static_cast<double>(leaves.size() / 8), [&] {
+           CodeSet table;
+           std::vector<PathCode> report;
+           for (const PathCode& c : leaves) {
+             report.push_back(c);
+             if (report.size() == 8) {
+               table.insert_all(report);
+               report.clear();
+             }
+           }
+           g_sink = g_sink + table.code_count();
+         })});
+  }
+
+  {
+    const auto leaves = leaf_codes(10001, 19);
+    CodeSet set;
+    for (std::size_t i = 0; i < leaves.size(); i += 3) set.insert(leaves[i]);
+    results.push_back({"code_set_complement",
+                       measure(window, 1.0, [&] {
+                         g_sink = g_sink + set.complement().size();
+                       })});
+  }
+
+  {
+    const auto leaves = leaf_codes(10001, 23);
+    CodeSet set;
+    for (std::size_t i = 0; i < leaves.size(); i += 2) set.insert(leaves[i]);
+    results.push_back({"code_set_export",
+                       measure(window, 1.0, [&] {
+                         g_sink = g_sink + set.export_codes().size();
+                       })});
+  }
+
+  for (const int codes : {8, 64}) {
+    const auto leaves = leaf_codes(2001, 29);
+    core::Message msg;
+    msg.type = core::MsgType::kWorkReport;
+    msg.from = 3;
+    msg.best_known = -123.0;
+    for (int i = 0; i < codes; ++i) {
+      msg.codes.push_back(leaves[static_cast<std::size_t>(i) % leaves.size()]);
+    }
+    results.push_back(
+        {"work_report_encode_decode_" + std::to_string(codes) + "codes",
+         measure(window, 1.0, [&] {
+           support::ByteWriter w;
+           msg.encode(w);
+           support::ByteReader r(w.data());
+           g_sink = g_sink + core::Message::decode(r).codes.size();
+         })});
+  }
+
+  support::TextTable table({"bench", "ops/s"});
+  for (const Result& r : results) {
+    table.row({r.name, support::TextTable::num(r.ops_per_sec, 0)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  FILE* json = std::fopen("BENCH_micro_codes.json", "w");
+  if (json == nullptr) {
+    std::printf("cannot write BENCH_micro_codes.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"micro_codes\",\n  \"smoke\": %s,\n"
+                     "  \"results\": [\n", smoke ? "true" : "false");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::fprintf(json, "    {\"name\": \"%s\", \"ops_per_sec\": %.0f}%s\n",
+                 results[i].name.c_str(), results[i].ops_per_sec,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote BENCH_micro_codes.json\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Shared self-timing harness for the hand-rolled microbenches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ftbb::bench {
+
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Runs `op` (which performs `ops_per_call` logical operations) repeatedly
+/// for at least `target_seconds`, returns operations per second. The first
+/// call warms up outside the measurement window.
+template <typename Fn>
+double measure(double target_seconds, double ops_per_call, Fn&& op) {
+  op();
+  std::uint64_t calls = 0;
+  const double start = now_seconds();
+  double elapsed = 0.0;
+  do {
+    op();
+    ++calls;
+    elapsed = now_seconds() - start;
+  } while (elapsed < target_seconds);
+  return static_cast<double>(calls) * ops_per_call / elapsed;
+}
+
+}  // namespace ftbb::bench

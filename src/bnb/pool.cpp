@@ -6,6 +6,8 @@
 
 namespace ftbb::bnb {
 
+using core::PathCode;
+
 const char* to_string(SelectRule rule) {
   switch (rule) {
     case SelectRule::kBestFirst:
@@ -40,104 +42,400 @@ bool ActivePool::ranks_before(const Subproblem& a, const Subproblem& b) const {
   return a.code < b.code;
 }
 
+// ---------------------------------------------------------------------------
+// Index comparators. Every key ends on `seq` so the orders stay strict even
+// for duplicate subproblems (the same code can be granted back redundantly).
+// ---------------------------------------------------------------------------
+
+bool ActivePool::BoundLess::operator()(const Entry* a, const Entry* b) const {
+  if (a->item.bound != b->item.bound) return a->item.bound < b->item.bound;
+  if (a->item.code != b->item.code) return a->item.code < b->item.code;
+  return a->seq < b->seq;
+}
+bool ActivePool::BoundLess::operator()(const Entry* a, double bound) const {
+  return a->item.bound < bound;
+}
+bool ActivePool::BoundLess::operator()(double bound, const Entry* b) const {
+  return bound < b->item.bound;
+}
+
+bool ActivePool::ShareLess::operator()(const Entry* a, const Entry* b) const {
+  if (a->item.code.depth() != b->item.code.depth()) {
+    return a->item.code.depth() < b->item.code.depth();
+  }
+  if (a->item.bound != b->item.bound) return a->item.bound < b->item.bound;
+  if (a->item.code != b->item.code) return a->item.code < b->item.code;
+  return a->seq < b->seq;
+}
+
+bool ActivePool::CodeLess::operator()(const Entry* a, const Entry* b) const {
+  if (a->item.code != b->item.code) return a->item.code < b->item.code;
+  return a->seq < b->seq;
+}
+bool ActivePool::CodeLess::operator()(const Entry* a, const PathCode& c) const {
+  return a->item.code < c;
+}
+bool ActivePool::CodeLess::operator()(const PathCode& c, const Entry* b) const {
+  return c < b->item.code;
+}
+
+// ---------------------------------------------------------------------------
+// Entry lifecycle
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<ActivePool::Entry> ActivePool::acquire(Subproblem item) {
+  std::unique_ptr<Entry> e;
+  if (!free_.empty()) {
+    e = std::move(free_.back());
+    free_.pop_back();
+    e->item = std::move(item);
+  } else {
+    e = std::make_unique<Entry>();
+    e->item = std::move(item);
+  }
+  e->seq = ++next_seq_;
+  return e;
+}
+
+void ActivePool::release(std::unique_ptr<Entry> e) {
+  // Entries arrive here with their item moved out (pop / remove_batch), so
+  // recycling retains no payload. Cap the list so a drained peak-sized pool
+  // does not pin its high-water allocation count forever.
+  if (free_.size() < std::max<std::size_t>(1024, heap_.size())) {
+    free_.push_back(std::move(e));
+  }
+}
+
+void ActivePool::index_insert(Entry* e) {
+  bound_index_.insert(e);
+  share_index_.insert(e);
+  code_index_.insert(e);
+}
+
+void ActivePool::index_erase(Entry* e) {
+  bound_index_.erase(e);
+  share_index_.erase(e);
+  code_index_.erase(e);
+}
+
+void ActivePool::build_indexes() {
+  for (const std::unique_ptr<Entry>& e : heap_) {
+    e->in_index = true;
+    index_insert(e.get());
+  }
+  indexed_ = true;
+}
+
+void ActivePool::drop_indexes() {
+  bound_index_.clear();
+  share_index_.clear();
+  code_index_.clear();
+  nursery_.clear();
+  indexed_ = false;
+}
+
+void ActivePool::adapt_indexing() {
+  if (!indexed_ && heap_.size() >= kIndexBuildThreshold) {
+    build_indexes();
+  } else if (indexed_ && heap_.size() <= kIndexDropThreshold) {
+    drop_indexes();
+  }
+}
+
+std::size_t ActivePool::nursery_cap() const {
+  return std::max<std::size_t>(kIndexDropThreshold, heap_.size() / 64);
+}
+
+void ActivePool::nursery_add(Entry* e) {
+  e->in_index = false;
+  e->nursery_pos = static_cast<std::uint32_t>(nursery_.size());
+  nursery_.push_back(e);
+  if (nursery_.size() > nursery_cap()) flush_nursery();
+}
+
+void ActivePool::nursery_remove(Entry* e) {
+  Entry* moved = nursery_.back();
+  nursery_[e->nursery_pos] = moved;
+  moved->nursery_pos = e->nursery_pos;
+  nursery_.pop_back();
+}
+
+void ActivePool::flush_nursery() {
+  for (Entry* e : nursery_) {
+    e->in_index = true;
+    index_insert(e);
+  }
+  nursery_.clear();
+}
+
+void ActivePool::untrack(Entry* e) {
+  if (e->in_index) {
+    index_erase(e);
+  } else {
+    nursery_remove(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Core heap operations
+// ---------------------------------------------------------------------------
+
 void ActivePool::push(Subproblem p) {
-  entries_.push_back(std::move(p));
-  sift_up(entries_.size() - 1);
+  std::unique_ptr<Entry> e = acquire(std::move(p));
+  Entry* raw = e.get();
+  raw->slot = heap_.size();
+  heap_.push_back(std::move(e));
+  sift_up(raw->slot);
+  if (indexed_) {
+    nursery_add(raw);
+  } else {
+    adapt_indexing();
+  }
 }
 
 Subproblem ActivePool::pop() {
-  FTBB_CHECK_MSG(!entries_.empty(), "pop from empty pool");
-  Subproblem top = std::move(entries_.front());
-  entries_.front() = std::move(entries_.back());
-  entries_.pop_back();
-  if (!entries_.empty()) sift_down(0);
-  return top;
+  FTBB_CHECK_MSG(!heap_.empty(), "pop from empty pool");
+  std::unique_ptr<Entry> top = std::move(heap_.front());
+  if (indexed_) untrack(top.get());
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.front()->slot = 0;
+  }
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  if (indexed_) adapt_indexing();
+  Subproblem out = std::move(top->item);
+  release(std::move(top));
+  return out;
 }
 
 double ActivePool::best_bound() const {
+  if (heap_.empty()) return kInfinity;
   double best = kInfinity;
-  for (const Subproblem& p : entries_) best = std::min(best, p.bound);
+  if (indexed_) {
+    if (!bound_index_.empty()) best = (*bound_index_.begin())->item.bound;
+    for (const Entry* e : nursery_) best = std::min(best, e->item.bound);
+    return best;
+  }
+  for (const std::unique_ptr<Entry>& e : heap_) {
+    best = std::min(best, e->item.bound);
+  }
   return best;
+}
+
+// ---------------------------------------------------------------------------
+// Removal flavors
+// ---------------------------------------------------------------------------
+
+std::vector<Subproblem> ActivePool::prune_above(double threshold) {
+  std::vector<Entry*> victims;
+  if (indexed_) {
+    for (auto it = bound_index_.lower_bound(threshold);
+         it != bound_index_.end(); ++it) {
+      victims.push_back(*it);
+    }
+    for (Entry* e : nursery_) {
+      if (e->item.bound >= threshold) victims.push_back(e);
+    }
+  } else {
+    for (const std::unique_ptr<Entry>& e : heap_) {
+      if (e->item.bound >= threshold) victims.push_back(e.get());
+    }
+  }
+  return remove_batch(victims);
+}
+
+std::vector<Subproblem> ActivePool::remove_covered_by(
+    std::span<const PathCode> regions) {
+  std::vector<Entry*> victims;
+  if (indexed_) {
+    for (const PathCode& region : regions) {
+      for (auto it = code_index_.lower_bound(region);
+           it != code_index_.end() && region.contains((*it)->item.code); ++it) {
+        victims.push_back(*it);
+      }
+    }
+    for (Entry* e : nursery_) {
+      for (const PathCode& region : regions) {
+        if (region.contains(e->item.code)) {
+          victims.push_back(e);
+          break;
+        }
+      }
+    }
+    if (victims.empty()) return {};
+    // Covering codes from one table form an antichain, but arbitrary callers
+    // may pass nested regions; drop double-visited entries.
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  } else {
+    for (const std::unique_ptr<Entry>& e : heap_) {
+      for (const PathCode& region : regions) {
+        if (region.contains(e->item.code)) {
+          victims.push_back(e.get());
+          break;
+        }
+      }
+    }
+  }
+  return remove_batch(victims);
 }
 
 std::vector<Subproblem> ActivePool::remove_if(
     const std::function<bool(const Subproblem&)>& victim) {
-  std::vector<Subproblem> removed;
-  // In-place compaction: survivors shift left over removed slots, so the
-  // entries vector never holds moved-from elements.
-  std::size_t write = 0;
-  for (std::size_t read = 0; read < entries_.size(); ++read) {
-    if (victim(entries_[read])) {
-      removed.push_back(std::move(entries_[read]));
-    } else {
-      if (write != read) entries_[write] = std::move(entries_[read]);
-      ++write;
-    }
+  std::vector<Entry*> victims;
+  for (const std::unique_ptr<Entry>& e : heap_) {
+    if (victim(e->item)) victims.push_back(e.get());
   }
-  if (!removed.empty()) {
-    entries_.resize(write);
-    rebuild();
-  }
-  return removed;
+  return remove_batch(victims);
 }
 
 std::vector<Subproblem> ActivePool::extract_for_sharing(std::size_t k) {
-  k = std::min(k, entries_.size());
+  k = std::min(k, heap_.size());
   if (k == 0) return {};
-  // Index sort by (depth asc, bound asc, code) — shallowest first.
-  std::vector<std::size_t> idx(entries_.size());
-  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
-  std::sort(idx.begin(), idx.end(), [this](std::size_t a, std::size_t b) {
-    const Subproblem& pa = entries_[a];
-    const Subproblem& pb = entries_[b];
-    if (pa.code.depth() != pb.code.depth()) return pa.code.depth() < pb.code.depth();
-    if (pa.bound != pb.bound) return pa.bound < pb.bound;
-    return pa.code < pb.code;
-  });
-  std::vector<bool> take(entries_.size(), false);
-  for (std::size_t i = 0; i < k; ++i) take[idx[i]] = true;
-  std::vector<Subproblem> out;
-  out.reserve(k);
-  std::vector<Subproblem> kept;
-  kept.reserve(entries_.size() - k);
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (take[i]) {
-      out.push_back(std::move(entries_[i]));
-    } else {
-      kept.push_back(std::move(entries_[i]));
+  std::vector<Entry*> victims;
+  ShareLess less;
+  if (indexed_) {
+    // The k winners are among the nursery and the tree's first k; select
+    // from that union.
+    victims.reserve(k + nursery_.size());
+    auto it = share_index_.begin();
+    for (std::size_t i = 0; i < k && it != share_index_.end(); ++i, ++it) {
+      victims.push_back(*it);
     }
+    victims.insert(victims.end(), nursery_.begin(), nursery_.end());
+  } else {
+    victims.reserve(heap_.size());
+    for (const std::unique_ptr<Entry>& e : heap_) victims.push_back(e.get());
   }
-  entries_ = std::move(kept);
+  if (victims.size() > k) {
+    std::nth_element(victims.begin(), victims.begin() + (k - 1), victims.end(),
+                     less);
+    victims.resize(k);
+  }
+  return remove_batch(victims);
+}
+
+std::vector<Subproblem> ActivePool::remove_batch(std::vector<Entry*>& victims) {
+  if (victims.empty()) return {};
+  // Heap-array order is the order the historical flat heap reported (and the
+  // worker's completion pipeline observably depends on it).
+  std::sort(victims.begin(), victims.end(),
+            [](const Entry* a, const Entry* b) { return a->slot < b->slot; });
+  std::vector<Subproblem> out;
+  out.reserve(victims.size());
+  for (Entry* v : victims) {
+    if (indexed_) untrack(v);
+    std::unique_ptr<Entry> owned = std::move(heap_[v->slot]);  // leaves a hole
+    out.push_back(std::move(owned->item));
+    release(std::move(owned));
+  }
+  // In-place compaction: survivors shift left over the holes in array order,
+  // then re-heapify — exactly the historical layout transition.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < heap_.size(); ++read) {
+    if (heap_[read] == nullptr) continue;
+    if (write != read) heap_[write] = std::move(heap_[read]);
+    heap_[write]->slot = write;
+    ++write;
+  }
+  heap_.resize(write);
   rebuild();
+  if (indexed_) adapt_indexing();
   return out;
+}
+
+std::vector<Subproblem> ActivePool::snapshot() const {
+  std::vector<const Entry*> order;
+  order.reserve(heap_.size());
+  for (const std::unique_ptr<Entry>& e : heap_) order.push_back(e.get());
+  std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
+    if (a->item.code != b->item.code) return a->item.code < b->item.code;
+    return a->seq < b->seq;
+  });
+  std::vector<Subproblem> out;
+  out.reserve(order.size());
+  for (const Entry* e : order) out.push_back(e->item);
+  return out;
+}
+
+void ActivePool::clear() {
+  // Cleared entries still own their payloads; destroy rather than recycle.
+  heap_.clear();
+  drop_indexes();
+}
+
+// ---------------------------------------------------------------------------
+// Sift machinery — pointer swaps, but the exact comparison sequence of the
+// historical Subproblem heap, so the array layout stays bit-identical.
+// ---------------------------------------------------------------------------
+
+void ActivePool::swap_slots(std::size_t i, std::size_t j) {
+  std::swap(heap_[i], heap_[j]);
+  heap_[i]->slot = i;
+  heap_[j]->slot = j;
 }
 
 void ActivePool::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!ranks_before(entries_[i], entries_[parent])) break;
-    std::swap(entries_[i], entries_[parent]);
+    if (!ranks_before(heap_[i]->item, heap_[parent]->item)) break;
+    swap_slots(i, parent);
     i = parent;
   }
 }
 
 void ActivePool::sift_down(std::size_t i) {
-  const std::size_t n = entries_.size();
+  const std::size_t n = heap_.size();
   while (true) {
     std::size_t best = i;
     const std::size_t l = 2 * i + 1;
     const std::size_t r = 2 * i + 2;
-    if (l < n && ranks_before(entries_[l], entries_[best])) best = l;
-    if (r < n && ranks_before(entries_[r], entries_[best])) best = r;
+    if (l < n && ranks_before(heap_[l]->item, heap_[best]->item)) best = l;
+    if (r < n && ranks_before(heap_[r]->item, heap_[best]->item)) best = r;
     if (best == i) return;
-    std::swap(entries_[i], entries_[best]);
+    swap_slots(i, best);
     i = best;
   }
 }
 
 void ActivePool::rebuild() {
-  if (entries_.size() < 2) return;
-  for (std::size_t i = entries_.size() / 2; i-- > 0;) sift_down(i);
+  if (heap_.size() < 2) return;
+  for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+void ActivePool::check_invariants() const {
+  const std::size_t expect_index = indexed_ ? heap_.size() - nursery_.size() : 0;
+  FTBB_CHECK(bound_index_.size() == expect_index);
+  FTBB_CHECK(share_index_.size() == expect_index);
+  FTBB_CHECK(code_index_.size() == expect_index);
+  if (!indexed_) FTBB_CHECK(nursery_.empty());
+  for (std::size_t i = 0; i < nursery_.size(); ++i) {
+    FTBB_CHECK(!nursery_[i]->in_index);
+    FTBB_CHECK(nursery_[i]->nursery_pos == i);
+  }
+  double min_bound = kInfinity;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Entry* e = heap_[i].get();
+    FTBB_CHECK(e != nullptr);
+    FTBB_CHECK(e->slot == i);
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      FTBB_CHECK_MSG(!ranks_before(e->item, heap_[parent]->item),
+                     "heap property violated");
+    }
+    if (indexed_ && e->in_index) {
+      FTBB_CHECK(bound_index_.count(const_cast<Entry*>(e)) == 1);
+      FTBB_CHECK(share_index_.count(const_cast<Entry*>(e)) == 1);
+      FTBB_CHECK(code_index_.count(const_cast<Entry*>(e)) == 1);
+    }
+    min_bound = std::min(min_bound, e->item.bound);
+  }
+  FTBB_CHECK(best_bound() == min_bound);
 }
 
 }  // namespace ftbb::bnb

@@ -1,8 +1,50 @@
 // The pool of active problems with the paper's Select rules (Section 2c).
+//
+// Indexed pool: alongside the classic binary heap (which still defines pop
+// order and, deliberately, the legacy removal order — see below), every
+// entry is tracked by three incremental ordered indexes:
+//
+//   * a bound index, keyed (bound, code, seq)           — O(1) best_bound(),
+//     and prune_above() locates the eliminated tail in O(log n) instead of
+//     scanning all n entries per incumbent update;
+//   * a share index, keyed (depth, bound, code, seq)    — extract_for_sharing()
+//     picks the k shallowest entries by an index walk instead of sorting the
+//     whole pool per work grant;
+//   * a code index, keyed (code, seq), lexicographic    — all entries below a
+//     completed region form one contiguous run, so remove_covered_by() is a
+//     range scan per covering code instead of a per-report full sweep that
+//     walks the completion trie once per pool entry.
+//
+// Observational identity: the heap stores stable Entry allocations and swaps
+// pointers with exactly the seed implementation's sift logic, so the array
+// layout evolves bit-identically to the historical flat heap. Pop order is
+// the rule's total order either way; removal-flavored operations report their
+// victims in heap-array order, which the worker's completion pipeline
+// (report batching, contraction charges, last-local-completion tracking)
+// observably depends on. Golden ScenarioReport fingerprints therefore stay
+// unchanged while the no-victim fast paths skip the O(n) work entirely.
+//
+// Adaptive indexing: below kIndexBuildThreshold entries the indexes are not
+// maintained at all — a small pool answers every query by a trivial scan
+// faster than tree maintenance costs, and most simulated workers idle in
+// that regime. The indexes are built in one pass when the pool grows past
+// the threshold and dropped (with hysteresis) when it shrinks back. Results
+// are identical in both modes; only the complexity changes.
+//
+// Nursery (LSM-style write buffer): while indexed, fresh pushes land in a
+// small unordered nursery instead of the trees; queries scan it linearly on
+// top of their index walk, and it is promoted into the trees in bulk when it
+// fills. Subproblems churn — a child pushed now is often popped or
+// eliminated by the very next incumbent improvement — and entries that die
+// young this way never pay tree maintenance at all.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <set>
+#include <span>
 #include <vector>
 
 #include "bnb/problem.hpp"
@@ -18,47 +60,137 @@ enum class SelectRule {
 
 [[nodiscard]] const char* to_string(SelectRule rule);
 
-/// Binary-heap pool ordered by the configured selection rule. All orderings
-/// break ties on the full path code so that pops are deterministic
-/// regardless of insertion history.
 class ActivePool {
  public:
   explicit ActivePool(SelectRule rule = SelectRule::kBestFirst);
 
+  ActivePool(const ActivePool&) = delete;
+  ActivePool& operator=(const ActivePool&) = delete;
+  ActivePool(ActivePool&&) = default;
+  ActivePool& operator=(ActivePool&&) = default;
+
   void push(Subproblem p);
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Pops the problem the selection rule ranks first.
   Subproblem pop();
 
-  /// Smallest bound present (kInfinity when empty) — useful for global-best
-  /// diagnostics.
+  /// Smallest bound present (kInfinity when empty). O(1) via the bound index.
   [[nodiscard]] double best_bound() const;
 
-  /// Removes every entry matching `victim` (elimination by bound, or drop of
-  /// problems a work report proved completed); returns the removed entries
-  /// so the caller can classify them.
+  /// Removes every entry whose bound is >= `threshold` (elimination after an
+  /// incumbent improvement). The victims are located through the bound
+  /// index — a no-op costs O(log n), never a scan — and are returned in
+  /// heap-array order, matching the historical remove_if exactly.
+  std::vector<Subproblem> prune_above(double threshold);
+
+  /// Removes every entry lying inside any of `regions` (a subproblem is
+  /// removed when some region is an ancestor of it or equal to it). Each
+  /// region is one contiguous run of the code index, so the cost is
+  /// O(|regions| log n + victims), independent of the pool size when nothing
+  /// matches. Callers pass the completion table's covering codes for
+  /// newly-covered regions; victims return in heap-array order.
+  std::vector<Subproblem> remove_covered_by(std::span<const core::PathCode> regions);
+
+  /// Removes every entry matching `victim`; returns the removed entries in
+  /// heap-array order. Generic O(n) fallback — the worker hot paths use
+  /// prune_above / remove_covered_by instead.
   std::vector<Subproblem> remove_if(const std::function<bool(const Subproblem&)>& victim);
 
   /// Extracts up to `k` problems for a work grant, preferring the
   /// shallowest entries: shallow subproblems represent the largest subtrees
-  /// and are the classic choice for work transfer.
+  /// and are the classic choice for work transfer. The k winners come from
+  /// the share index (no full sort) and are returned in heap-array order.
   std::vector<Subproblem> extract_for_sharing(std::size_t k);
 
-  [[nodiscard]] const std::vector<Subproblem>& entries() const { return entries_; }
+  /// Order-canonical snapshot of the pool contents, sorted by path code.
+  /// Deliberately the only way to enumerate entries, so no caller can couple
+  /// to the internal layout.
+  [[nodiscard]] std::vector<Subproblem> snapshot() const;
+
   [[nodiscard]] SelectRule rule() const { return rule_; }
 
-  void clear() { entries_.clear(); }
+  /// True once the pool is large enough that the ordered indexes are live.
+  /// Callers with a cheaper brute-force alternative (e.g. one completion-trie
+  /// walk per entry instead of materializing covering regions) should prefer
+  /// it while this is false.
+  [[nodiscard]] bool indexed() const { return indexed_; }
+
+  void clear();
+
+  /// Deep structural validation for tests: heap property, slot back-pointers,
+  /// and index membership all consistent. Aborts on violation.
+  void check_invariants() const;
 
  private:
+  struct Entry {
+    Subproblem item;
+    std::uint64_t seq = 0;    // insertion order; totalizes every index order
+    std::size_t slot = 0;     // current position in the heap array
+    bool in_index = false;    // indexed mode: trees vs nursery residency
+    std::uint32_t nursery_pos = 0;  // position in nursery_ when !in_index
+  };
+
+  struct BoundLess {
+    using is_transparent = void;
+    bool operator()(const Entry* a, const Entry* b) const;
+    bool operator()(const Entry* a, double bound) const;
+    bool operator()(double bound, const Entry* b) const;
+  };
+  struct ShareLess {
+    bool operator()(const Entry* a, const Entry* b) const;
+  };
+  struct CodeLess {
+    using is_transparent = void;
+    bool operator()(const Entry* a, const Entry* b) const;
+    bool operator()(const Entry* a, const core::PathCode& c) const;
+    bool operator()(const core::PathCode& c, const Entry* b) const;
+  };
+
+  /// Index maintenance pays off only once scans get long; below this the
+  /// pool is a plain heap with linear fallbacks.
+  static constexpr std::size_t kIndexBuildThreshold = 512;
+  static constexpr std::size_t kIndexDropThreshold = 256;  // hysteresis
+
   [[nodiscard]] bool ranks_before(const Subproblem& a, const Subproblem& b) const;
+  void swap_slots(std::size_t i, std::size_t j);
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
   void rebuild();
 
+  void index_insert(Entry* e);
+  void index_erase(Entry* e);
+  void build_indexes();
+  void drop_indexes();
+  /// Builds or drops the indexes when the size crossed a threshold.
+  void adapt_indexing();
+
+  [[nodiscard]] std::size_t nursery_cap() const;
+  void nursery_add(Entry* e);
+  void nursery_remove(Entry* e);
+  void flush_nursery();
+  /// Removes `e` from whichever side structure (tree or nursery) holds it.
+  void untrack(Entry* e);
+
+  /// Removes the given entries from the pool and returns their items in
+  /// heap-array order, compacting and re-heapifying exactly like the
+  /// historical remove_if. Precondition: `victims` holds no duplicates (a
+  /// repeated pointer would be moved from twice); any order is fine.
+  std::vector<Subproblem> remove_batch(std::vector<Entry*>& victims);
+
+  std::unique_ptr<Entry> acquire(Subproblem item);
+  void release(std::unique_ptr<Entry> e);
+
   SelectRule rule_;
-  std::vector<Subproblem> entries_;  // binary heap, entries_[0] = next pop
+  std::vector<std::unique_ptr<Entry>> heap_;  // heap_[0] = next pop
+  bool indexed_ = false;
+  std::set<Entry*, BoundLess> bound_index_;
+  std::set<Entry*, ShareLess> share_index_;
+  std::set<Entry*, CodeLess> code_index_;
+  std::vector<Entry*> nursery_;  // indexed mode: fresh, not-yet-promoted entries
+  std::vector<std::unique_ptr<Entry>> free_;  // entry recycling, caps churn
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace ftbb::bnb

@@ -167,6 +167,15 @@ void BnbWorker::complete(const PathCode& code) {
                config_.costs.contract_per_code +
                    config_.costs.contract_per_node * (r.nodes_walked + r.merges));
   if (!r.newly_covered) return;  // already known through reports
+  // Remaining pool entries can only be covered by regions that grew since
+  // their push; remember this one so the next covered sweep inspects it.
+  if (!pool_.empty()) {
+    if (pending_cover_hints_.size() < kMaxCoverHints) {
+      pending_cover_hints_.push_back(code);
+    } else {
+      cover_hints_overflowed_ = true;
+    }
+  }
   note_progress();
   fresh_.push_back(code);
   if (fresh_.size() >= config_.report_batch) {
@@ -186,17 +195,39 @@ void BnbWorker::absorb_incumbent(double value) {
 
 void BnbWorker::prune_pool_by_bound() {
   if (!config_.enable_elimination) return;
-  const auto removed = pool_.remove_if(
-      [this](const bnb::Subproblem& p) { return p.bound >= incumbent_; });
+  const auto removed = pool_.prune_above(incumbent_);
   for (const bnb::Subproblem& p : removed) {
     ++stats_.eliminated;
     complete(p.code);
   }
 }
 
-void BnbWorker::prune_pool_covered() {
-  const auto removed = pool_.remove_if(
-      [this](const bnb::Subproblem& p) { return table_.covered(p.code); });
+void BnbWorker::prune_pool_covered(const std::vector<PathCode>& just_inserted) {
+  std::vector<PathCode> regions = std::move(pending_cover_hints_);
+  pending_cover_hints_.clear();
+  const bool overflowed = cover_hints_overflowed_;
+  cover_hints_overflowed_ = false;
+  if (pool_.empty()) return;
+  if (!pool_.indexed() || overflowed) {
+    // Small pool (or an abandoned hint record): one completion-trie walk
+    // per entry beats materializing covering regions, and it is the
+    // always-correct fallback when the hint record is incomplete.
+    const auto removed = pool_.remove_if(
+        [this](const bnb::Subproblem& p) { return table_.covered(p.code); });
+    stats_.covered_skips += removed.size();
+    return;
+  }
+  regions.insert(regions.end(), just_inserted.begin(), just_inserted.end());
+  // Map every hint to the maximal region the table contracted it into; the
+  // covering codes of one table form an antichain, so after dedup each
+  // region is scanned at most once.
+  for (PathCode& c : regions) {
+    std::optional<PathCode> cover = table_.covering_code(c);
+    if (cover.has_value()) c = std::move(*cover);
+  }
+  std::sort(regions.begin(), regions.end());
+  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
+  const auto removed = pool_.remove_covered_by(regions);
   stats_.covered_skips += removed.size();
 }
 
@@ -556,7 +587,7 @@ void BnbWorker::on_message(const Message& msg) {
                        config_.costs.contract_per_node * (r.nodes_walked + r.merges));
       if (r.newly_covered) {
         note_progress();  // fresh knowledge: the computation is advancing
-        prune_pool_covered();
+        prune_pool_covered(msg.codes);
       }
       break;
     }

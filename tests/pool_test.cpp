@@ -140,6 +140,83 @@ TEST(ActivePool, BestBound) {
   EXPECT_EQ(pool.best_bound(), 2.0);
 }
 
+TEST(ActivePool, PruneAboveRemovesThresholdTail) {
+  ActivePool pool(SelectRule::kBestFirst);
+  for (int i = 0; i < 10; ++i) {
+    pool.push(make({{static_cast<std::uint32_t>(i), false}}, double(i)));
+  }
+  const auto removed = pool.prune_above(5.0);
+  EXPECT_EQ(removed.size(), 5u);
+  for (const Subproblem& p : removed) EXPECT_GE(p.bound, 5.0);
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_TRUE(pool.prune_above(5.0).empty());
+  pool.check_invariants();
+}
+
+TEST(ActivePool, RemoveCoveredByPrunesRegionSubtrees) {
+  ActivePool pool(SelectRule::kBestFirst);
+  pool.push(make({{1, false}}, 1.0));
+  pool.push(make({{1, false}, {2, false}}, 2.0));
+  pool.push(make({{1, false}, {2, true}, {3, false}}, 3.0));
+  pool.push(make({{1, true}}, 4.0));
+  const PathCode region = PathCode::root().child(1, false);
+  const auto removed = pool.remove_covered_by(std::vector<PathCode>{region});
+  EXPECT_EQ(removed.size(), 3u);
+  for (const Subproblem& p : removed) EXPECT_TRUE(region.contains(p.code));
+  ASSERT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.pop().code, PathCode::root().child(1, true));
+  // Nested (non-antichain) regions must not double-remove.
+  pool.push(make({{1, false}}, 1.0));
+  pool.push(make({{1, false}, {2, false}}, 2.0));
+  const auto nested = pool.remove_covered_by(std::vector<PathCode>{
+      region, region.child(2, false), PathCode::root()});
+  EXPECT_EQ(nested.size(), 2u);
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(ActivePool, SnapshotIsCodeSorted) {
+  ActivePool pool(SelectRule::kDepthFirst);
+  pool.push(make({{2, true}}, 3.0));
+  pool.push(make({{1, false}, {2, false}}, 1.0));
+  pool.push(make({{1, false}}, 2.0));
+  const auto snap = pool.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_TRUE(snap[i - 1].code < snap[i].code);
+  }
+  EXPECT_EQ(pool.size(), 3u);  // snapshot does not disturb the pool
+}
+
+TEST(ActivePool, IndexActivationRoundTripsThroughThreshold) {
+  // Grow far past the build threshold, shrink to empty, and verify ordering
+  // and structure at every transition.
+  support::Rng rng(4242);
+  ActivePool pool(SelectRule::kBestFirst);
+  EXPECT_FALSE(pool.indexed());
+  for (int i = 0; i < 3000; ++i) {
+    pool.push(make({{static_cast<std::uint32_t>(i % 97), i % 2 == 0},
+                    {static_cast<std::uint32_t>(i % 31), i % 3 == 0}},
+                   rng.uniform(0.0, 100.0)));
+  }
+  EXPECT_TRUE(pool.indexed());
+  pool.check_invariants();
+  const auto shared = pool.extract_for_sharing(40);
+  EXPECT_EQ(shared.size(), 40u);
+  const auto pruned = pool.prune_above(80.0);
+  EXPECT_GT(pruned.size(), 0u);
+  pool.check_invariants();
+  double last = -1.0;
+  while (!pool.empty()) {
+    const double b = pool.pop().bound;
+    EXPECT_GE(b, last);
+    EXPECT_LT(b, 80.0);
+    last = b;
+  }
+  EXPECT_FALSE(pool.indexed());
+  EXPECT_EQ(pool.best_bound(), kInfinity);
+  pool.check_invariants();
+}
+
 TEST(ActivePoolDeath, PopEmptyAborts) {
   ActivePool pool(SelectRule::kBestFirst);
   ASSERT_DEATH((void)pool.pop(), "pop from empty pool");

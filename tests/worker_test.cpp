@@ -208,8 +208,10 @@ TEST(Worker, ReceivedReportCoversPoolEntries) {
   worker.on_start(true);
   for (int i = 0; i < 6 && !worker.pool().empty(); ++i) f.env.fire_next(worker);
   ASSERT_GE(worker.pool().size(), 1u);
-  // Claim one pooled subproblem completed via a work report.
-  const PathCode victim = worker.pool().entries().front().code;
+  // Claim one pooled subproblem completed via a work report. snapshot() is
+  // order-canonical (sorted by code), so this cannot couple to pool
+  // internals.
+  const PathCode victim = worker.pool().snapshot().front().code;
   Message report;
   report.type = MsgType::kWorkReport;
   report.from = 1;
