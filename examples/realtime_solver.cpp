@@ -18,24 +18,29 @@ int main(int argc, char** argv) {
   // forces its neighbors into the cover.
   const bnb::Graph graph = bnb::Graph::gnp(26, 0.25, 11);
   bnb::NodeCostModel cost;
-  cost.mean = 2e-4;  // keep the demo snappy: 0.2 ms of work per node
+  cost.mean = 5e-3;  // ~5 ms per node: long enough that the faults land
+                     // mid-search, short enough to stay a demo
   bnb::VertexCoverModel model(graph, cost);
 
   rt::RtConfig cfg;
   cfg.workers = workers;
   cfg.seed = 11;
   cfg.wall_timeout = 60.0;
-  cfg.net_latency_fixed = 0.0005;
-  cfg.net_loss_prob = 0.02;  // a slightly lossy "network"
+  cfg.net.latency_fixed = 0.0005;
+  cfg.net.latency_per_byte = 0.0;
+  cfg.net.loss_prob = 0.02;  // a slightly lossy "network"
   cfg.worker.report_batch = 4;
   cfg.worker.report_flush_interval = 0.02;
   cfg.worker.table_gossip_interval = 0.05;
   cfg.worker.work_request_timeout = 0.01;
   cfg.worker.idle_backoff = 0.004;
-  // Two workers die shortly after start, while work is spreading.
-  cfg.crashes = {{1, 0.05}, {2, 0.08}};
+  // One worker dies for good shortly after start; another bounces — its
+  // fresh incarnation re-enters through the normal load-balancing path.
+  cfg.faults.crashes = {{1, 0.02}, {2, 0.04}};
+  cfg.faults.revives = {{2, 0.12}};
 
-  std::printf("solving vertex cover on %u threads (2 will crash)...\n", workers);
+  std::printf("solving vertex cover on %u threads (2 crash, 1 rejoins)...\n",
+              workers);
   const rt::RtResult res = rt::Cluster::run(model, cfg);
 
   std::printf("terminated    : %s in %.2fs wall\n",
@@ -46,13 +51,16 @@ int main(int argc, char** argv) {
                 res.solution == *model.known_optimal() ? "match" : "MISMATCH");
   }
   std::printf("\nmessages      : %llu delivered, %llu lost\n",
-              static_cast<unsigned long long>(res.messages_delivered),
-              static_cast<unsigned long long>(res.messages_lost));
+              static_cast<unsigned long long>(res.net.messages_delivered),
+              static_cast<unsigned long long>(res.net.messages_lost));
+  std::printf("incarnations  : %u spawned, %u reaped, %llu nodes re-expanded\n",
+              res.incarnations, res.reaped,
+              static_cast<unsigned long long>(res.redundant_expansions));
   for (std::size_t i = 0; i < res.workers.size(); ++i) {
-    std::printf("worker %zu      : expanded=%llu recoveries=%llu %s\n", i,
+    std::printf("worker %zu      : expanded=%llu recoveries=%llu%s\n", i,
                 static_cast<unsigned long long>(res.workers[i].expanded),
                 static_cast<unsigned long long>(res.workers[i].recoveries),
-                res.crashed[i] ? "[crashed]" : "");
+                res.crashed[i] ? " [crashed]" : "");
   }
   return res.all_live_halted ? 0 : 1;
 }

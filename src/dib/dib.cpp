@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/path_code.hpp"
+#include "dib/dib_pool.hpp"
 #include "sim/kernel.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
@@ -17,11 +18,6 @@ using core::PathCode;
 
 /// Approximate wire size of DIB control messages (header + one code).
 std::size_t msg_bytes(const PathCode& code) { return 16 + code.encoded_size(); }
-
-struct Task {
-  bnb::Subproblem sub;
-  std::uint32_t job = 0;  // index into the owning machine's job list
-};
 
 struct Job {
   PathCode code;
@@ -67,7 +63,7 @@ struct Machine {
   bool busy = false;
   bool stopped = false;  // computation concluded
 
-  std::vector<Task> pool;
+  DibPool pool;
   std::vector<Job> jobs;
   std::unordered_map<std::uint64_t, Donation> ledger;
   std::uint64_t next_donation_id = 1;
@@ -112,34 +108,12 @@ struct Machine {
   }
 
   /// Eliminated pool entries leave their job's accounting immediately.
+  /// Victims are visited in array order, exactly the seed linear sweep (the
+  /// check_job cascade order is observable); a prune that eliminates
+  /// nothing — the common case per absorbed incumbent — costs O(log n).
   void prune_pool() {
-    std::size_t write = 0;
-    for (std::size_t read = 0; read < pool.size(); ++read) {
-      if (pool[read].sub.bound >= incumbent) {
-        node_finished(pool[read].job);
-      } else {
-        if (write != read) pool[write] = std::move(pool[read]);
-        ++write;
-      }
-    }
-    pool.resize(write);
-  }
-
-  /// Depth-first pop (deepest task; deterministic tie-break on code).
-  Task pop_task() {
-    std::size_t best_i = 0;
-    for (std::size_t i = 1; i < pool.size(); ++i) {
-      const auto& a = pool[i].sub;
-      const auto& b = pool[best_i].sub;
-      if (a.code.depth() > b.code.depth() ||
-          (a.code.depth() == b.code.depth() && a.code < b.code)) {
-        best_i = i;
-      }
-    }
-    Task t = std::move(pool[best_i]);
-    pool[best_i] = std::move(pool.back());
-    pool.pop_back();
-    return t;
+    pool.prune_at_least(incumbent,
+                        [this](const Task& task) { node_finished(task.job); });
   }
 
   void node_finished(std::uint32_t job_index) {
@@ -199,7 +173,7 @@ struct Machine {
       return;
     }
     busy = true;
-    Task task = pop_task();
+    Task task = pool.pop_best();
     if (sim->cfg.enable_elimination && task.sub.bound >= incumbent) {
       node_finished(task.job);
       busy = false;
@@ -229,7 +203,7 @@ struct Machine {
     for (const bnb::ChildOut& child : eval.children) {
       if (child.infeasible) continue;
       if (sim->cfg.enable_elimination && child.bound >= incumbent) continue;
-      pool.push_back(Task{
+      pool.push(Task{
           bnb::Subproblem{task.sub.code.child(child.var, child.bit != 0), child.bound},
           task.job});
       ++pooled;
@@ -269,13 +243,7 @@ struct Machine {
     Machine* requester = sim->machines[from].get();
     if (pool.size() >= sim->cfg.min_pool_to_grant) {
       // Donate the shallowest task (largest subtree).
-      std::size_t best_i = 0;
-      for (std::size_t i = 1; i < pool.size(); ++i) {
-        if (pool[i].sub.code.depth() < pool[best_i].sub.code.depth()) best_i = i;
-      }
-      Task task = std::move(pool[best_i]);
-      pool[best_i] = std::move(pool.back());
-      pool.pop_back();
+      Task task = pool.take_shallowest();
       const std::uint64_t donation_id = next_donation_id++;
       Job& job = jobs[task.job];
       FTBB_CHECK(job.open_nodes > 0);
@@ -302,7 +270,7 @@ struct Machine {
     request_outstanding = false;
     jobs.push_back(Job{sub.code, static_cast<std::int32_t>(donor), donation_id, 1,
                        0, false});
-    pool.push_back(Task{sub, static_cast<std::uint32_t>(jobs.size() - 1)});
+    pool.push(Task{sub, static_cast<std::uint32_t>(jobs.size() - 1)});
     schedule_step();
   }
 
@@ -335,7 +303,7 @@ struct Machine {
       FTBB_CHECK(job.unacked > 0);
       --job.unacked;
       ++job.open_nodes;
-      pool.push_back(donation.task);
+      pool.push(donation.task);
     }
     if (!expired.empty()) schedule_step();
     sim->kernel.after(sim->cfg.audit_interval, static_cast<sim::OwnerId>(id),
@@ -382,8 +350,7 @@ DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
   // Machine 0 holds the root of the responsibility hierarchy.
   Machine& root = *sim.machines[0];
   root.jobs.push_back(Job{PathCode::root(), -1, 0, 1, 0, false});
-  root.pool.push_back(
-      Task{bnb::Subproblem{PathCode::root(), model.root_bound()}, 0});
+  root.pool.push(Task{bnb::Subproblem{PathCode::root(), model.root_bound()}, 0});
   for (std::uint32_t i = 0; i < machines; ++i) {
     const double when = faults.join_times.empty() ? 0.0 : faults.join_times[i];
     if (when >= time_limit) continue;  // never joins within this run

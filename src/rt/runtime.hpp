@@ -5,16 +5,28 @@
 // queues, demonstrating the algorithm outside simulated time (the closest
 // equivalent of an MPI run on one machine, which the reproduction notes call
 // for; no MPI implementation is available offline, so the message-passing
-// layer is built here: per-process mailboxes plus a delivery service that
-// applies configurable latency and loss — the paper's network assumptions —
-// before enqueueing).
+// layer is built here: per-process mailboxes plus a wall-clock deadline
+// scheduler that applies configurable latency and loss — the paper's network
+// assumptions — before enqueueing).
+//
+// Fault parity with the simulator: the runtime is a first-class
+// fault::IFaultBackend, so the same compiled FaultSchedule (crash, rejoin,
+// partition + heal, windowed per-link loss, membership churn) that drives
+// the discrete-event backends replays here against wall-clock deadlines.
+// Crashed workers are torn down as whole incarnations (thread, mailbox,
+// worker state) and revived as fresh ones; epoch guards drop messages and
+// timers addressed to dead incarnations, and per-incarnation stats merge in
+// the results exactly as SimCluster merges them. The in-process transport
+// evaluates the same windowed loss rules and partition groups as the
+// simulated Network (shared helpers in sim/network.hpp), against wall
+// seconds since run start.
 //
 // Messages actually cross the wire format: they are encoded to bytes at the
 // sender and decoded at the receiver.
 //
 // Unlike the simulator, runs are not deterministic (thread scheduling);
-// tests assert protocol correctness — exact optimum, termination, crash
-// survival — not timing.
+// tests assert protocol correctness — exact optimum, termination, crash and
+// churn survival — not timing.
 #pragma once
 
 #include <cstdint>
@@ -22,22 +34,38 @@
 
 #include "bnb/problem.hpp"
 #include "core/worker.hpp"
+#include "fault/schedule.hpp"
+#include "sim/network.hpp"
 
 namespace ftbb::rt {
 
 struct RtConfig {
+  /// Initial population floor; the fault schedule's population (churn
+  /// arrivals) can raise the number of hosted members.
   std::uint32_t workers = 4;
   core::WorkerConfig worker;
   /// Wall seconds slept per virtual second of B&B cost (model costs are
   /// virtual; scale them down to keep runs quick).
   double time_scale = 1.0;
-  double net_latency_fixed = 0.0;     // artificial delivery delay, wall seconds
-  double net_latency_per_byte = 0.0;
-  double net_loss_prob = 0.0;
+  /// Latency / jitter / loss model of the in-process transport, evaluated in
+  /// wall seconds since run start (same structure the simulator uses in
+  /// virtual time).
+  sim::NetConfig net;
   std::uint64_t seed = 1;
   double wall_timeout = 60.0;  // hard cap; hitting it fails the run
-  /// Crash injections: worker killed at `time` wall-seconds after start.
-  std::vector<std::pair<core::NodeId, double>> crashes;
+  /// Compiled fault schedule; all times are wall seconds since run start.
+  /// Joins at/after wall_timeout are abandoned (the member never enters).
+  fault::FaultSchedule faults;
+};
+
+/// Transport counters (the rt analogue of sim::Network::Stats).
+struct RtNetStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_lost = 0;        // random loss (base + windowed rules)
+  std::uint64_t messages_partitioned = 0; // dropped at a partition
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
 };
 
 struct RtResult {
@@ -46,16 +74,29 @@ struct RtResult {
   bool solution_found = false;
   double solution = bnb::kInfinity;
   double wall_seconds = 0.0;
+  /// Per member, merged across every incarnation (crashed incarnations'
+  /// spend included), mirroring SimCluster's per-incarnation merge.
   std::vector<core::WorkerStats> workers;
-  std::vector<bool> crashed;
-  std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_lost = 0;
+  std::vector<bool> crashed;  // ever crash-injected
+  std::vector<std::uint32_t> incarnations_per_worker;
+  /// Incarnation hygiene: every spawned worker thread must be joined by the
+  /// time the result exists. The chaos-soak test asserts reaped ==
+  /// incarnations, i.e. churn never leaks a thread.
+  std::uint32_t incarnations = 0;
+  std::uint32_t reaped = 0;
+  /// Redundant-work accounting over all incarnations (total - unique).
+  std::uint64_t total_expanded = 0;
+  std::uint64_t unique_expanded = 0;
+  std::uint64_t redundant_expansions = 0;
+  RtNetStats net;
 };
 
 class Cluster {
  public:
-  /// Spawns one thread per worker, runs to termination (all live workers
-  /// detect completion) or the wall timeout, joins everything, reports.
+  /// Spawns one thread per live worker incarnation, arms the fault schedule
+  /// on a wall-clock deadline scheduler, runs to termination (all live
+  /// workers detect completion and every scheduled injection has fired) or
+  /// the wall timeout, joins everything, reports.
   static RtResult run(const bnb::IProblemModel& model, const RtConfig& config);
 };
 

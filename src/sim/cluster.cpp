@@ -333,7 +333,6 @@ SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& con
   support::Rng master(config_.seed);
   network_ = std::make_unique<Network>(&kernel_, config_.net, master.split(0x6e657477),
                                        config_.workers);
-  for (const Partition& p : config_.partitions) network_->add_partition(p);
   FTBB_CHECK_MSG(config_.join_times.empty() ||
                      config_.join_times.size() == config_.workers,
                  "join_times must be empty or one entry per worker");
@@ -344,6 +343,22 @@ SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& con
     hosts_.push_back(std::make_unique<WorkerHost>(this, id, master.split(id).next()));
   }
   live_count_ = config_.workers;
+
+  // The cluster's fault surface is driven like any other backend's: the
+  // config's fault fields become one compiled schedule and a FaultDriver
+  // arms it on the kernel's control stream (see FaultPlane).
+  fault::FaultSchedule schedule;
+  schedule.population = config_.workers;
+  for (const CrashEvent& crash : config_.crashes) {
+    schedule.crashes.push_back(fault::CrashAt{crash.node, crash.time});
+  }
+  for (const ReviveEvent& rejoin : config_.rejoins) {
+    schedule.revives.push_back(fault::ReviveAt{rejoin.node, rejoin.time});
+  }
+  schedule.join_times = config_.join_times;
+  schedule.partitions = config_.partitions;
+  schedule.loss_rules = config_.loss_rules;
+  driver_.emplace(std::move(schedule), &fault_plane_, &fault_plane_);
 }
 
 SimCluster::~SimCluster() = default;
@@ -374,33 +389,44 @@ void SimCluster::revive(core::NodeId id) {
   // incarnation.
 }
 
+// ---- FaultPlane: the cluster as a fault-injectable backend ----
+
+void SimCluster::FaultPlane::crash(std::uint32_t node) {
+  // Crashing reduces the live population that must halt for the run to be
+  // considered finished. A node that already crashed or already detected
+  // termination absorbs the injection as a no-op.
+  WorkerHost* host = cluster_->hosts_[node].get();
+  if (!host->alive() || host->worker().halted()) return;
+  host->kill(cluster_->kernel_.now());
+  host->leave_live_set();
+}
+
+void SimCluster::FaultPlane::revive(std::uint32_t node) {
+  cluster_->revive(node);
+}
+
+void SimCluster::FaultPlane::join(std::uint32_t node) { cluster_->join(node); }
+
+void SimCluster::FaultPlane::abandon_join(std::uint32_t node) {
+  cluster_->hosts_[node]->leave_live_set();
+}
+
+void SimCluster::FaultPlane::set_partition(const Partition& partition) {
+  cluster_->network_->add_partition(partition);
+}
+
+void SimCluster::FaultPlane::set_loss_rule(const LossRule& rule) {
+  cluster_->network_->add_loss_rule(rule);
+}
+
+void SimCluster::FaultPlane::call_at(double at, std::function<void()> fn) {
+  // Control-context scheduling: under a sharded executor the injection runs
+  // at an epoch barrier with every shard quiescent.
+  cluster_->kernel_.at(at, std::move(fn));
+}
+
 void SimCluster::start() {
-  // Crash injections. Crashing reduces the live population that must halt
-  // for the run to be considered finished.
-  for (const CrashEvent& crash : config_.crashes) {
-    FTBB_CHECK(crash.node < config_.workers);
-    kernel_.at(crash.time, [this, crash]() {
-      WorkerHost* host = hosts_[crash.node].get();
-      if (!host->alive() || host->worker().halted()) return;
-      host->kill(kernel_.now());
-      host->leave_live_set();
-    });
-  }
-  for (const ReviveEvent& rejoin : config_.rejoins) {
-    FTBB_CHECK(rejoin.node < config_.workers);
-    kernel_.at(rejoin.time, [this, rejoin]() { revive(rejoin.node); });
-  }
-  for (core::NodeId id = 0; id < config_.workers; ++id) {
-    const double when =
-        config_.join_times.empty() ? 0.0 : config_.join_times[id];
-    if (when >= config_.time_limit) {
-      // This member can never participate; do not hold the run open for it
-      // (and leave no stray far-future event in the queue).
-      hosts_[id]->leave_live_set();
-      continue;
-    }
-    kernel_.at(when, [this, id]() { join(id); });
-  }
+  driver_->arm(config_.time_limit);
   if (config_.storage_sample_interval > 0.0) {
     kernel_.after(config_.storage_sample_interval, [this]() { sample_storage(); });
   }

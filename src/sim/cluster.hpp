@@ -24,11 +24,13 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "bnb/problem.hpp"
 #include "core/code_set.hpp"
 #include "core/worker.hpp"
+#include "fault/driver.hpp"
 #include "sim/kernel.hpp"
 #include "sim/network.hpp"
 #include "trace/timeline.hpp"
@@ -65,6 +67,10 @@ struct ClusterConfig {
   std::vector<CrashEvent> crashes;
   std::vector<ReviveEvent> rejoins;
   std::vector<Partition> partitions;
+  /// Fault-plan loss rules, appended after net.loss_rules by the FaultDriver
+  /// (the combined order — base config first, plan second — is what the
+  /// per-message survival product multiplies through).
+  std::vector<LossRule> loss_rules;
   bool record_trace = false;
   double storage_sample_interval = 0.25; // virtual seconds between samples
   core::NodeId root_holder = 0;          // the one member seeded with the root
@@ -135,6 +141,26 @@ class SimCluster {
   class WorkerHost;
   friend class WorkerHost;
 
+  /// The narrow fault-injection surface of the simulated cluster: a
+  /// FaultDriver replays any compiled FaultSchedule through these
+  /// capabilities, with injection deadlines living on the kernel's control
+  /// event stream (virtual time).
+  class FaultPlane final : public fault::IFaultBackend, public fault::IFaultClock {
+   public:
+    explicit FaultPlane(SimCluster* cluster) : cluster_(cluster) {}
+    void crash(std::uint32_t node) override;
+    void revive(std::uint32_t node) override;
+    void join(std::uint32_t node) override;
+    void abandon_join(std::uint32_t node) override;
+    void set_partition(const Partition& partition) override;
+    void set_loss_rule(const LossRule& rule) override;
+    void call_at(double at, std::function<void()> fn) override;
+
+   private:
+    SimCluster* cluster_;
+  };
+  friend class FaultPlane;
+
   SimCluster(const bnb::IProblemModel& model, const ClusterConfig& config);
   ~SimCluster();
 
@@ -149,6 +175,8 @@ class SimCluster {
   ClusterConfig config_;
   Kernel kernel_;
   std::unique_ptr<Network> network_;
+  FaultPlane fault_plane_{this};
+  std::optional<fault::FaultDriver> driver_;
   std::vector<std::unique_ptr<WorkerHost>> hosts_;
   std::vector<core::NodeId> joined_;   // members that have joined so far;
                                        // mutated only by control events

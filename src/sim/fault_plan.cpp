@@ -43,7 +43,16 @@ FaultPlan& FaultPlan::partition(double t0, double t1, std::vector<int> group_of)
 
 FaultPlan& FaultPlan::split_halves(double t0, double t1) {
   FTBB_CHECK_MSG(t1 > t0, "partition window must be non-empty");
-  pending_halves_.push_back(partitions_.size());
+  pending_splits_.push_back(PendingSplit{partitions_.size(), true, 0, 0});
+  partitions_.push_back(PartitionSpec{t0, t1, {}});
+  return *this;
+}
+
+FaultPlan& FaultPlan::isolate(std::uint32_t first, std::uint32_t count,
+                              double t0, double t1) {
+  FTBB_CHECK_MSG(t1 > t0, "partition window must be non-empty");
+  FTBB_CHECK_MSG(count > 0, "an isolate window needs a non-empty minority");
+  pending_splits_.push_back(PendingSplit{partitions_.size(), false, first, count});
   partitions_.push_back(PartitionSpec{t0, t1, {}});
   return *this;
 }
@@ -133,6 +142,36 @@ FaultPlan FaultPlan::adversarial_churn(std::uint32_t first, std::uint32_t arriva
   return plan;
 }
 
+FaultPlan FaultPlan::cascading_storm(std::uint32_t first, std::uint32_t waves,
+                                     double start, double gap, double downtime) {
+  FTBB_CHECK(waves > 0 && gap > 0.0 && downtime > 0.0);
+  FaultPlan plan;
+  double t = start;
+  double step = gap;
+  double last_return = start;
+  for (std::uint32_t i = 0; i < waves; ++i) {
+    plan.bounce(first + i, t, t + downtime);
+    last_return = std::max(last_return, t + downtime);
+    t += step;
+    step *= 0.7;  // the cascade accelerates
+  }
+  plan.split_halves(start + gap, start + 2.0 * gap);
+  plan.loss(start, last_return + gap, 0.08);
+  return plan;
+}
+
+FaultPlan FaultPlan::asymmetric_partition(std::uint32_t minority,
+                                          std::uint32_t episodes, double start,
+                                          double width, double gap) {
+  FTBB_CHECK(minority > 0 && episodes > 0 && width > 0.0 && gap >= 0.0);
+  FaultPlan plan;
+  for (std::uint32_t e = 0; e < episodes; ++e) {
+    const double t0 = start + (width + gap) * e;
+    plan.isolate(e * minority, minority, t0, t0 + width);
+  }
+  return plan;
+}
+
 bool FaultPlan::empty() const {
   return crashes_.empty() && rejoins_.empty() && joins_.empty() &&
          partitions_.empty() && loss_rules_.empty();
@@ -179,15 +218,25 @@ std::int64_t FaultPlan::max_node() const {
 }
 
 void FaultPlan::for_workers(std::uint32_t workers) {
-  for (const std::size_t idx : pending_halves_) {
-    PartitionSpec& p = partitions_[idx];
+  for (const PendingSplit& split : pending_splits_) {
+    PartitionSpec& p = partitions_[split.index];
     if (!p.group_of.empty()) continue;  // already materialized
     p.group_of.resize(workers);
-    for (std::uint32_t n = 0; n < workers; ++n) {
-      p.group_of[n] = n < workers / 2 ? 0 : 1;
+    if (split.halves) {
+      for (std::uint32_t n = 0; n < workers; ++n) {
+        p.group_of[n] = n < workers / 2 ? 0 : 1;
+      }
+    } else {
+      FTBB_CHECK_MSG(split.count < workers,
+                     "isolating the whole population is not a partition");
+      const std::uint32_t first = split.first % workers;
+      for (std::uint32_t n = 0; n < workers; ++n) {
+        const std::uint32_t offset = (n + workers - first) % workers;
+        p.group_of[n] = offset < split.count ? 1 : 0;
+      }
     }
   }
-  pending_halves_.clear();
+  pending_splits_.clear();
   FTBB_CHECK_MSG(max_node() < static_cast<std::int64_t>(workers),
                  "fault plan references a node outside the population");
   for (const RejoinSpec& r : rejoins_) {

@@ -77,6 +77,13 @@ class FaultPlan {
   /// group vector is materialized by for_workers().
   FaultPlan& split_halves(double t0, double t1);
 
+  /// Asymmetric convenience: cuts the `count` consecutive members starting
+  /// at `first` (wrapping modulo the population) off from everyone else for
+  /// [t0, t1). Materialized by for_workers(); isolating the whole
+  /// population is rejected there.
+  FaultPlan& isolate(std::uint32_t first, std::uint32_t count, double t0,
+                     double t1);
+
   /// All links lose messages with probability `prob` during [t0, t1),
   /// on top of the base network loss rate.
   FaultPlan& loss(double t0, double t1, double prob);
@@ -126,6 +133,25 @@ class FaultPlan {
   static FaultPlan adversarial_churn(std::uint32_t first, std::uint32_t arrivals,
                                      double start, double period);
 
+  /// A cascading failure storm: `waves` members (first, first+1, ...) crash
+  /// in an accelerating sequence from `start` — each inter-crash gap is 0.7x
+  /// the previous one, the signature of correlated infrastructure collapse —
+  /// and each returns as a fresh incarnation `downtime` later. Mid-cascade
+  /// the fabric splits in halves for one `gap`, and background loss covers
+  /// the whole episode.
+  static FaultPlan cascading_storm(std::uint32_t first, std::uint32_t waves,
+                                   double start, double gap, double downtime);
+
+  /// An asymmetric partition schedule: instead of symmetric halves, each of
+  /// `episodes` windows cuts a rotating minority of `minority` consecutive
+  /// members off from the majority (episode e isolates members
+  /// [e*minority, e*minority + minority) mod population) for `width`,
+  /// healing for `gap` before the next cut — so the root holder's side is
+  /// eventually the small side too.
+  static FaultPlan asymmetric_partition(std::uint32_t minority,
+                                        std::uint32_t episodes, double start,
+                                        double width, double gap);
+
   // ---- queries (used by ScenarioRunner and tests) ----
 
   [[nodiscard]] const std::vector<CrashSpec>& crashes() const { return crashes_; }
@@ -170,12 +196,21 @@ class FaultPlan {
   [[nodiscard]] std::string describe() const;
 
  private:
+  /// A partition window whose group vector awaits the population size:
+  /// either a symmetric halves split or an isolate() of a rotating minority.
+  struct PendingSplit {
+    std::size_t index = 0;  // partitions_ slot to fill in
+    bool halves = true;
+    std::uint32_t first = 0;  // isolate(): first member of the minority
+    std::uint32_t count = 0;  // isolate(): minority size
+  };
+
   std::vector<CrashSpec> crashes_;
   std::vector<RejoinSpec> rejoins_;
   std::vector<JoinSpec> joins_;
   std::vector<PartitionSpec> partitions_;
   std::vector<LossRule> loss_rules_;
-  std::vector<std::size_t> pending_halves_;  // partition indices to fill in
+  std::vector<PendingSplit> pending_splits_;  // partitions to materialize
   bool churned_ = false;
 };
 

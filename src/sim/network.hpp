@@ -59,6 +59,46 @@ struct Partition {
   std::vector<int> group_of;  // group id per node
 };
 
+// Window-matching semantics of the fault model, shared by every transport
+// that replays a FaultPlan (the simulated Network below evaluates them in
+// virtual time; the rt runtime's in-process transport in wall time).
+
+/// Combined loss probability for one transmission at time `t`: the base rate
+/// and every matching active rule act as independent loss sources, so
+/// survival probabilities multiply. Callers consume exactly one RNG draw per
+/// at-risk message regardless of how many rules match, keeping runs
+/// reproducible.
+[[nodiscard]] inline double combined_loss_probability(const NetConfig& config,
+                                                      std::uint32_t from,
+                                                      std::uint32_t to, double t) {
+  double survive = 1.0 - config.loss_prob;
+  for (const LossRule& rule : config.loss_rules) {
+    if (t < rule.t0 || t >= rule.t1) continue;
+    if (rule.from != LossRule::kAnyNode &&
+        rule.from != static_cast<std::int32_t>(from)) {
+      continue;
+    }
+    if (rule.to != LossRule::kAnyNode &&
+        rule.to != static_cast<std::int32_t>(to)) {
+      continue;
+    }
+    survive *= 1.0 - rule.prob;
+  }
+  return 1.0 - survive;
+}
+
+/// True when some partition window active at `t` separates `from` and `to`.
+[[nodiscard]] inline bool partition_blocks(const std::vector<Partition>& partitions,
+                                           std::uint32_t from, std::uint32_t to,
+                                           double t) {
+  for (const Partition& p : partitions) {
+    if (t < p.t0 || t >= p.t1) continue;
+    if (from >= p.group_of.size() || to >= p.group_of.size()) continue;
+    if (p.group_of[from] != p.group_of[to]) return true;
+  }
+  return false;
+}
+
 class Network {
  public:
   struct Stats {
@@ -89,6 +129,11 @@ class Network {
   }
 
   void add_partition(Partition p) { partitions_.push_back(std::move(p)); }
+
+  /// Appends one windowed loss rule after the rules already in the config.
+  /// Valid before the run starts; lets a FaultDriver install a plan's rules
+  /// through the same capability call on every backend.
+  void add_loss_rule(LossRule rule) { config_.loss_rules.push_back(rule); }
 
   /// Transmits `bytes` departing at `departure` (>= kernel time; senders may
   /// be in the middle of a charged busy period); `deliver` runs at arrival —
@@ -157,36 +202,14 @@ class Network {
     std::uint64_t messages_delivered = 0;
   };
 
-  /// Combined loss probability for one transmission: the base rate and every
-  /// matching active rule act as independent loss sources, so survival
-  /// probabilities multiply. Exactly one RNG draw is consumed per at-risk
-  /// message regardless of how many rules match, keeping runs reproducible.
   [[nodiscard]] double loss_probability(std::uint32_t from, std::uint32_t to,
                                         double t) const {
-    double survive = 1.0 - config_.loss_prob;
-    for (const LossRule& rule : config_.loss_rules) {
-      if (t < rule.t0 || t >= rule.t1) continue;
-      if (rule.from != LossRule::kAnyNode &&
-          rule.from != static_cast<std::int32_t>(from)) {
-        continue;
-      }
-      if (rule.to != LossRule::kAnyNode &&
-          rule.to != static_cast<std::int32_t>(to)) {
-        continue;
-      }
-      survive *= 1.0 - rule.prob;
-    }
-    return 1.0 - survive;
+    return combined_loss_probability(config_, from, to, t);
   }
 
   [[nodiscard]] bool blocked_by_partition(std::uint32_t from, std::uint32_t to,
                                           double t) const {
-    for (const Partition& p : partitions_) {
-      if (t < p.t0 || t >= p.t1) continue;
-      if (from >= p.group_of.size() || to >= p.group_of.size()) continue;
-      if (p.group_of[from] != p.group_of[to]) return true;
-    }
-    return false;
+    return partition_blocks(partitions_, from, to, t);
   }
 
   Kernel* kernel_;

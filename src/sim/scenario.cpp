@@ -8,6 +8,7 @@
 #include "bnb/knapsack.hpp"
 #include "bnb/partition.hpp"
 #include "bnb/vertex_cover.hpp"
+#include "rt/runtime.hpp"
 #include "support/check.hpp"
 
 namespace ftbb::sim {
@@ -44,52 +45,16 @@ class Fnv {
   std::uint64_t h_ = 0xcbf29ce484222325ULL;
 };
 
-/// Protocol population of a scenario: the initial workers plus every node
-/// the fault plan references (churn arrivals extend the population).
-std::uint32_t population_of(const ScenarioSpec& spec) {
-  const std::int64_t top = spec.faults.max_node();
-  return std::max<std::uint32_t>(
-      spec.workers, top < 0 ? 0 : static_cast<std::uint32_t>(top) + 1);
-}
-
-std::vector<ScenarioEvent> plan_timeline(const FaultPlan& plan) {
-  std::vector<ScenarioEvent> events;
-  for (FaultPlan::TimedFault& event : plan.timeline()) {
-    events.push_back(
-        ScenarioEvent{event.time, event.kind, std::move(event.detail)});
-  }
-  return events;
-}
-
-/// Per-protocol-node join times (0 = from the start), or empty when
-/// everyone starts at t=0. Node 0 hosts the root and must join at 0.
-std::vector<double> join_times_of(const ScenarioSpec& spec,
-                                  std::uint32_t population) {
-  if (spec.faults.joins().empty()) return {};
-  std::vector<double> times(population, 0.0);
-  std::vector<bool> has_join(population, false);
-  for (const FaultPlan::JoinSpec& j : spec.faults.joins()) {
-    times[j.node] = j.time;
-    has_join[j.node] = true;
-  }
-  FTBB_CHECK_MSG(!has_join[0] || times[0] == 0.0,
-                 "node 0 seeds the computation and must join at time 0");
-  for (std::uint32_t n = spec.workers; n < population; ++n) {
-    FTBB_CHECK_MSG(has_join[n],
-                   "churn node beyond the initial population needs a join time");
-  }
-  return times;
-}
-
 void fill_common(ScenarioReport& report, const ScenarioSpec& spec,
-                 const FaultPlan& plan, std::uint32_t population,
-                 const Workload& workload) {
+                 const fault::FaultSchedule& schedule, const Workload& workload) {
   report.scenario = spec.name;
   report.backend = to_string(spec.backend);
   report.workload = workload.name;
-  report.workers = population;
+  report.workers = schedule.population;
   report.seed = spec.seed;
-  report.timeline = plan_timeline(plan);
+  for (const FaultPlan::TimedFault& event : schedule.timeline) {
+    report.timeline.push_back(ScenarioEvent{event.time, event.kind, event.detail});
+  }
   if (const auto opt = workload.model->known_optimal()) {
     report.optimum_known = true;
     report.optimum = *opt;
@@ -111,33 +76,30 @@ void finish(ScenarioReport& report) {
                            report.solution == report.optimum;
 }
 
-ScenarioReport run_ftbb(const ScenarioSpec& spec, const FaultPlan& plan,
-                        std::uint32_t population, const Workload& workload) {
+ScenarioReport run_ftbb(const ScenarioSpec& spec,
+                        const fault::FaultSchedule& schedule,
+                        const Workload& workload) {
   ClusterConfig cfg;
-  cfg.workers = population;
+  cfg.workers = schedule.population;
   cfg.worker = spec.worker;
   cfg.sim_threads = spec.sim_threads;
   cfg.net = spec.net;
-  for (const LossRule& rule : plan.loss_rules()) {
-    cfg.net.loss_rules.push_back(rule);
-  }
+  cfg.loss_rules = schedule.loss_rules;
   cfg.seed = spec.seed;
   cfg.time_limit = spec.time_limit;
-  for (const FaultPlan::CrashSpec& c : plan.crashes()) {
+  for (const fault::CrashAt& c : schedule.crashes) {
     cfg.crashes.push_back(CrashEvent{c.node, c.time});
   }
-  for (const FaultPlan::RejoinSpec& r : plan.rejoins()) {
+  for (const fault::ReviveAt& r : schedule.revives) {
     cfg.rejoins.push_back(ReviveEvent{r.node, r.time});
   }
-  for (const FaultPlan::PartitionSpec& p : plan.partitions()) {
-    cfg.partitions.push_back(Partition{p.t0, p.t1, p.group_of});
-  }
-  cfg.join_times = join_times_of(spec, population);
+  cfg.partitions = schedule.partitions;
+  cfg.join_times = schedule.join_times;
 
   const ClusterResult res = SimCluster::run(*workload.model, cfg);
 
   ScenarioReport report;
-  fill_common(report, spec, plan, population, workload);
+  fill_common(report, spec, schedule, workload);
   report.completed = res.all_live_halted;
   report.solution_found = res.solution_found;
   report.solution = res.solution_found ? res.solution : 0.0;
@@ -151,47 +113,33 @@ ScenarioReport run_ftbb(const ScenarioSpec& spec, const FaultPlan& plan,
   return report;
 }
 
-ScenarioReport run_central(const ScenarioSpec& spec, const FaultPlan& plan,
-                           std::uint32_t population, const Workload& workload) {
+ScenarioReport run_central(const ScenarioSpec& spec,
+                           const fault::FaultSchedule& schedule,
+                           const Workload& workload) {
   // Network ids shift by one: node 0 is the manager, protocol node i is
   // worker i+1. The manager shares a partition group with protocol node 0.
+  const fault::FaultSchedule shifted = schedule.remapped(1);
   central::CentralFaults faults;
-  for (const FaultPlan::CrashSpec& c : plan.crashes()) {
-    faults.crashes.push_back(central::CentralCrash{c.node + 1, c.time});
+  for (const fault::CrashAt& c : shifted.crashes) {
+    faults.crashes.push_back(central::CentralCrash{c.node, c.time});
   }
-  for (const FaultPlan::RejoinSpec& r : plan.rejoins()) {
-    faults.rejoins.push_back(central::CentralCrash{r.node + 1, r.time});
+  for (const fault::ReviveAt& r : shifted.revives) {
+    faults.rejoins.push_back(central::CentralCrash{r.node, r.time});
   }
-  for (const FaultPlan::PartitionSpec& p : plan.partitions()) {
-    Partition shifted;
-    shifted.t0 = p.t0;
-    shifted.t1 = p.t1;
-    shifted.group_of.resize(p.group_of.size() + 1);
-    shifted.group_of[0] = p.group_of.empty() ? 0 : p.group_of[0];
-    for (std::size_t i = 0; i < p.group_of.size(); ++i) {
-      shifted.group_of[i + 1] = p.group_of[i];
-    }
-    faults.partitions.push_back(std::move(shifted));
-  }
-  if (!spec.faults.joins().empty()) {
-    faults.worker_join_times = join_times_of(spec, population);
-  }
+  faults.partitions = shifted.partitions;
+  faults.worker_join_times = schedule.join_times;  // per protocol worker
   NetConfig net = spec.net;
-  for (LossRule rule : plan.loss_rules()) {
-    if (rule.from != LossRule::kAnyNode) ++rule.from;
-    if (rule.to != LossRule::kAnyNode) ++rule.to;
-    net.loss_rules.push_back(rule);
-  }
+  for (const LossRule& rule : shifted.loss_rules) net.loss_rules.push_back(rule);
 
   central::CentralConfig central_cfg = spec.central;
   central_cfg.sim_threads = spec.sim_threads;
   const central::CentralResult res =
-      central::CentralSim::run_with_faults(*workload.model, population,
+      central::CentralSim::run_with_faults(*workload.model, schedule.population,
                                            central_cfg, net, faults,
                                            spec.time_limit, spec.seed);
 
   ScenarioReport report;
-  fill_common(report, spec, plan, population, workload);
+  fill_common(report, spec, schedule, workload);
   report.completed = res.completed;
   report.solution_found = res.solution_found;
   report.solution = res.solution_found ? res.solution : 0.0;
@@ -204,32 +152,29 @@ ScenarioReport run_central(const ScenarioSpec& spec, const FaultPlan& plan,
   return report;
 }
 
-ScenarioReport run_dib(const ScenarioSpec& spec, const FaultPlan& plan,
-                       std::uint32_t population, const Workload& workload) {
+ScenarioReport run_dib(const ScenarioSpec& spec,
+                       const fault::FaultSchedule& schedule,
+                       const Workload& workload) {
   dib::DibFaults faults;
-  for (const FaultPlan::CrashSpec& c : plan.crashes()) {
+  for (const fault::CrashAt& c : schedule.crashes) {
     faults.crashes.push_back(dib::DibCrash{c.node, c.time});
   }
-  for (const FaultPlan::RejoinSpec& r : plan.rejoins()) {
+  for (const fault::ReviveAt& r : schedule.revives) {
     faults.rejoins.push_back(dib::DibCrash{r.node, r.time});
   }
-  for (const FaultPlan::PartitionSpec& p : plan.partitions()) {
-    faults.partitions.push_back(Partition{p.t0, p.t1, p.group_of});
-  }
-  if (!spec.faults.joins().empty()) {
-    faults.join_times = join_times_of(spec, population);
-  }
+  faults.partitions = schedule.partitions;
+  faults.join_times = schedule.join_times;
   NetConfig net = spec.net;
-  for (const LossRule& rule : plan.loss_rules()) net.loss_rules.push_back(rule);
+  for (const LossRule& rule : schedule.loss_rules) net.loss_rules.push_back(rule);
 
   dib::DibConfig dib_cfg = spec.dib;
   dib_cfg.sim_threads = spec.sim_threads;
   const dib::DibResult res =
-      dib::DibSim::run_with_faults(*workload.model, population, dib_cfg, net,
-                                   faults, spec.time_limit, spec.seed);
+      dib::DibSim::run_with_faults(*workload.model, schedule.population, dib_cfg,
+                                   net, faults, spec.time_limit, spec.seed);
 
   ScenarioReport report;
-  fill_common(report, spec, plan, population, workload);
+  fill_common(report, spec, schedule, workload);
   report.completed = res.completed;
   report.solution_found = res.solution_found;
   report.solution = res.solution_found ? res.solution : 0.0;
@@ -238,6 +183,39 @@ ScenarioReport run_dib(const ScenarioSpec& spec, const FaultPlan& plan,
   report.unique_expanded = res.unique_expanded;
   report.redundant_expansions = res.redundant_expansions;
   fill_net(report, res.net);
+  finish(report);
+  return report;
+}
+
+ScenarioReport run_rt(const ScenarioSpec& spec,
+                      const fault::FaultSchedule& schedule,
+                      const Workload& workload) {
+  rt::RtConfig cfg;
+  cfg.workers = schedule.population;
+  cfg.worker = spec.worker;
+  cfg.net = spec.net;
+  cfg.seed = spec.seed;
+  cfg.time_scale = spec.rt_time_scale;
+  cfg.wall_timeout = spec.rt_wall_timeout;
+  cfg.faults = schedule;
+
+  const rt::RtResult res = rt::Cluster::run(*workload.model, cfg);
+
+  ScenarioReport report;
+  fill_common(report, spec, schedule, workload);
+  report.completed = res.all_live_halted && !res.timed_out;
+  report.solution_found = res.solution_found;
+  report.solution = res.solution_found ? res.solution : 0.0;
+  report.makespan = res.wall_seconds;  // wall seconds, not virtual time
+  report.total_expanded = res.total_expanded;
+  report.unique_expanded = res.unique_expanded;
+  report.redundant_expansions = res.redundant_expansions;
+  report.messages_sent = res.net.messages_sent;
+  report.messages_delivered = res.net.messages_delivered;
+  report.messages_lost = res.net.messages_lost;
+  report.messages_partitioned = res.net.messages_partitioned;
+  report.bytes_sent = res.net.bytes_sent;
+  report.bytes_delivered = res.net.bytes_delivered;
   finish(report);
   return report;
 }
@@ -252,6 +230,8 @@ const char* to_string(Backend backend) {
       return "central";
     case Backend::kDib:
       return "dib";
+    case Backend::kRt:
+      return "rt";
   }
   return "?";
 }
@@ -407,19 +387,20 @@ std::string ScenarioReport::to_string() const {
 }
 
 ScenarioReport ScenarioRunner::run(const ScenarioSpec& spec) {
-  const std::uint32_t population = population_of(spec);
-  FaultPlan plan = spec.faults;
-  plan.for_workers(population);
+  const fault::FaultSchedule schedule =
+      fault::FaultSchedule::compile(spec.faults, spec.workers);
   Workload workload = build_workload(spec.workload);
   switch (spec.backend) {
     case Backend::kCentral:
-      return run_central(spec, plan, population, workload);
+      return run_central(spec, schedule, workload);
     case Backend::kDib:
-      return run_dib(spec, plan, population, workload);
+      return run_dib(spec, schedule, workload);
+    case Backend::kRt:
+      return run_rt(spec, schedule, workload);
     case Backend::kFtbb:
       break;
   }
-  return run_ftbb(spec, plan, population, workload);
+  return run_ftbb(spec, schedule, workload);
 }
 
 }  // namespace ftbb::sim

@@ -33,6 +33,7 @@ enum class Backend : std::uint8_t {
   kFtbb = 0,     // the paper's decentralized fault-tolerant protocol
   kCentral = 1,  // centralized manager/worker baseline (Section 3)
   kDib = 2,      // Finkel & Manber's DIB baseline (Section 3)
+  kRt = 3,       // the protocol on the thread-backed real-time runtime
 };
 
 [[nodiscard]] const char* to_string(Backend backend);
@@ -79,14 +80,24 @@ struct ScenarioSpec {
   /// Simulation dispatch threads for whichever backend runs the scenario:
   /// > 1 shards per-node event streams across OS threads (reports stay
   /// bit-identical to the sequential kernel); 0 consults FTBB_SIM_THREADS,
-  /// else sequential. Never part of the fingerprint.
+  /// else sequential. Never part of the fingerprint. Ignored by kRt, which
+  /// always runs one OS thread per live worker incarnation.
   std::uint32_t sim_threads = 0;
   NetConfig net;
   FaultPlan faults;
 
-  core::WorkerConfig worker;       // kFtbb tuning
+  core::WorkerConfig worker;       // kFtbb / kRt tuning
   central::CentralConfig central;  // kCentral tuning
   dib::DibConfig dib;              // kDib tuning
+
+  // kRt tuning. On the real-time backend the spec's times are *wall*
+  // seconds: fault times and net latencies count from run start on a
+  // steady clock, and rt_wall_timeout (not time_limit) caps the run.
+  // Reports from kRt are not deterministic (thread scheduling), so their
+  // fingerprints are not regression artifacts — protocol outcomes (optimum,
+  // termination, crash survival) are what cross-substrate tests assert.
+  double rt_time_scale = 1.0;     // wall seconds per virtual B&B second
+  double rt_wall_timeout = 60.0;  // hard cap; hitting it fails the run
 
   /// Preset worker tuning for small/fast test problems (tight timeouts
   /// matched to millisecond-scale node costs).

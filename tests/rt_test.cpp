@@ -5,7 +5,9 @@
 
 #include "bnb/basic_tree.hpp"
 #include "bnb/knapsack.hpp"
+#include "fault/schedule.hpp"
 #include "rt/runtime.hpp"
+#include "sim/fault_plan.hpp"
 
 namespace ftbb::rt {
 namespace {
@@ -53,7 +55,7 @@ TEST(Rt, FourThreadsSolveTree) {
   EXPECT_FALSE(res.timed_out);
   ASSERT_TRUE(res.all_live_halted);
   EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
-  EXPECT_GT(res.messages_delivered, 0u);
+  EXPECT_GT(res.net.messages_delivered, 0u);
 }
 
 TEST(Rt, KnapsackMatchesDp) {
@@ -72,20 +74,21 @@ TEST(Rt, SurvivesWorkerCrashes) {
   TreeProblem problem(&tree);
   RtConfig cfg = fast_config(4, 4);
   // Kill two workers early, while work is still spreading.
-  cfg.crashes = {{1, 0.01}, {3, 0.02}};
+  cfg.faults.crashes = {{1, 0.01}, {3, 0.02}};
   const RtResult res = Cluster::run(problem, cfg);
   EXPECT_FALSE(res.timed_out);
   ASSERT_TRUE(res.all_live_halted);
   EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
   EXPECT_TRUE(res.crashed[1]);
   EXPECT_TRUE(res.crashed[3]);
+  EXPECT_EQ(res.reaped, res.incarnations);
 }
 
 TEST(Rt, SurvivesMessageLoss) {
   const BasicTree tree = tiny_tree(5);
   TreeProblem problem(&tree);
   RtConfig cfg = fast_config(3, 5);
-  cfg.net_loss_prob = 0.1;
+  cfg.net.loss_prob = 0.1;
   const RtResult res = Cluster::run(problem, cfg);
   EXPECT_FALSE(res.timed_out);
   ASSERT_TRUE(res.all_live_halted);
@@ -96,8 +99,58 @@ TEST(Rt, LatencyDelaysDoNotBreakCorrectness) {
   const BasicTree tree = tiny_tree(6);
   TreeProblem problem(&tree);
   RtConfig cfg = fast_config(3, 6);
-  cfg.net_latency_fixed = 0.002;
-  cfg.net_latency_per_byte = 1e-7;
+  cfg.net.latency_fixed = 0.002;
+  cfg.net.latency_per_byte = 1e-7;
+  const RtResult res = Cluster::run(problem, cfg);
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+}
+
+TEST(Rt, CrashedWorkerRejoinsAsFreshIncarnation) {
+  // Big enough (~0.4s of virtual work) that the crash lands mid-search on
+  // any scheduler interleaving, never after termination.
+  const BasicTree tree = tiny_tree(8, 4001);
+  TreeProblem problem(&tree);
+  RtConfig cfg = fast_config(4, 8);
+  // Worker 1 bounces: killed early, back 100 ms later as a new incarnation
+  // that re-enters through the normal load-balancing path.
+  cfg.faults.crashes = {{1, 0.02}};
+  cfg.faults.revives = {{1, 0.12}};
+  const RtResult res = Cluster::run(problem, cfg);
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+  EXPECT_TRUE(res.crashed[1]);
+  // The bounce spawned a second incarnation and both threads were reaped.
+  EXPECT_GE(res.incarnations_per_worker[1], 2u);
+  EXPECT_EQ(res.reaped, res.incarnations);
+}
+
+TEST(Rt, ChurnArrivalsJoinLate) {
+  const BasicTree tree = tiny_tree(9, 801);
+  TreeProblem problem(&tree);
+  RtConfig cfg = fast_config(2, 9);
+  // Two extra members trickle in while the original pair is mid-search.
+  sim::FaultPlan plan;
+  plan.churn(2, 2, 0.02, 0.03);
+  cfg.faults = fault::FaultSchedule::compile(plan, cfg.workers);
+  const RtResult res = Cluster::run(problem, cfg);
+  EXPECT_FALSE(res.timed_out);
+  ASSERT_TRUE(res.all_live_halted);
+  EXPECT_DOUBLE_EQ(res.solution, tree.optimal_value());
+  ASSERT_EQ(res.workers.size(), 4u);  // population grew to 4
+  EXPECT_EQ(res.reaped, res.incarnations);
+}
+
+TEST(Rt, WindowedLinkLossAndPartitionReplay) {
+  const BasicTree tree = tiny_tree(10, 801);
+  TreeProblem problem(&tree);
+  RtConfig cfg = fast_config(4, 10);
+  sim::FaultPlan plan;
+  plan.link_loss(0, 1, 0.0, 0.2, 0.6);
+  plan.split_halves(0.02, 0.1);
+  cfg.faults = fault::FaultSchedule::compile(plan, cfg.workers);
   const RtResult res = Cluster::run(problem, cfg);
   EXPECT_FALSE(res.timed_out);
   ASSERT_TRUE(res.all_live_halted);

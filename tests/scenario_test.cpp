@@ -197,6 +197,12 @@ std::vector<NamedPlanCase> named_plan_cases() {
   cases.push_back({"adversarial-churn", 2,
                    FaultPlan::adversarial_churn(2, 3, 0.05, 0.05),
                    0xd9ce2b9abc7d04bbULL});
+  cases.push_back({"cascading-storm", 4,
+                   FaultPlan::cascading_storm(1, 3, 0.05, 0.08, 0.12),
+                   0x3d0aa57af5be3356ULL});
+  cases.push_back({"asymmetric-partition", 4,
+                   FaultPlan::asymmetric_partition(1, 3, 0.04, 0.07, 0.05),
+                   0xdeff50c1d8aaf7e0ULL});
   return cases;
 }
 
@@ -240,6 +246,23 @@ TEST(NamedPlans, ExerciseTheIntendedFaultKinds) {
   EXPECT_TRUE(churny.has(FaultKind::kChurn));
   EXPECT_TRUE(churny.has(FaultKind::kLoss));
   EXPECT_EQ(churny.max_node(), 6);
+  const FaultPlan storm = FaultPlan::cascading_storm(1, 2, 0.1, 0.1, 0.2);
+  EXPECT_TRUE(storm.has(FaultKind::kCrash));
+  EXPECT_TRUE(storm.has(FaultKind::kRejoin));
+  EXPECT_TRUE(storm.has(FaultKind::kPartition));
+  EXPECT_TRUE(storm.has(FaultKind::kLoss));
+  EXPECT_TRUE(
+      FaultPlan::asymmetric_partition(1, 2, 0.0, 0.1, 0.1).has(FaultKind::kPartition));
+}
+
+TEST(FaultPlan, IsolateMaterializesARotatingMinority) {
+  FaultPlan plan = FaultPlan::asymmetric_partition(2, 3, 0.0, 0.1, 0.1);
+  plan.for_workers(5);
+  ASSERT_EQ(plan.partitions().size(), 3u);
+  // Episode 0 isolates {0, 1}; episode 1 {2, 3}; episode 2 {4, 0} (wraps).
+  EXPECT_EQ(plan.partitions()[0].group_of, (std::vector<int>{1, 1, 0, 0, 0}));
+  EXPECT_EQ(plan.partitions()[1].group_of, (std::vector<int>{0, 0, 1, 1, 0}));
+  EXPECT_EQ(plan.partitions()[2].group_of, (std::vector<int>{1, 0, 0, 0, 1}));
 }
 
 TEST(FaultPlan, ValidatesAndCounts) {
