@@ -5,6 +5,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/frame.hpp"
+#include "core/messages.hpp"
 #include "core/path_code.hpp"
 #include "sim/kernel.hpp"
 #include "support/check.hpp"
@@ -16,10 +18,29 @@ namespace {
 
 using core::PathCode;
 
-std::size_t batch_bytes(const std::vector<bnb::Subproblem>& batch) {
-  std::size_t bytes = 16;
-  for (const auto& p : batch) bytes += p.code.encoded_size() + 8;
-  return bytes;
+// Honest wire pricing: the centralized baseline charges its traffic through
+// the same frame codec as the decentralized transports by sizing the
+// Message-shaped frame each exchange would be. The protocol carries no
+// report streams, so all frames are stateless (nullptr delta state).
+std::size_t request_bytes(const core::FrameCodec& codec) {
+  core::Message m;
+  m.type = core::MsgType::kWorkRequest;
+  return codec.frame_size(m, nullptr);
+}
+
+std::size_t batch_bytes(const core::FrameCodec& codec,
+                        const std::vector<bnb::Subproblem>& batch) {
+  core::Message m;
+  m.type = core::MsgType::kWorkGrant;
+  m.problems = batch;  // sizing only
+  return codec.frame_size(m, nullptr);
+}
+
+std::size_t conclude_bytes(const core::FrameCodec& codec) {
+  core::Message m;
+  m.type = core::MsgType::kRootReport;
+  m.codes.push_back(PathCode::root());
+  return codec.frame_size(m, nullptr);
 }
 
 struct Worker;
@@ -64,9 +85,11 @@ struct Sim {
   std::uint64_t reissues = 0;
   std::uint64_t manager_restarts = 0;
 
+  core::FrameCodec codec;
+
   Sim(const bnb::IProblemModel& m, const CentralConfig& c, double limit,
       const sim::ExecutorConfig& ex)
-      : model(m), cfg(c), kernel(ex), time_limit(limit) {}
+      : model(m), cfg(c), kernel(ex), time_limit(limit), codec(c.wire) {}
 
   void manager_prune() {
     if (!cfg.enable_elimination) return;
@@ -124,7 +147,7 @@ struct Worker {
   void fetch() {
     if (!running() || busy || fetch_outstanding) return;
     fetch_outstanding = true;
-    sim->net->send(id, 0, 16, sim->kernel.now(), [this] {
+    sim->net->send(id, 0, request_bytes(sim->codec), sim->kernel.now(), [this] {
       ++sim->manager_messages;
       if (sim->manager_alive) sim->on_fetch(id);
     });
@@ -159,7 +182,7 @@ struct Worker {
     if (!running()) return;
     if (todo.empty()) {
       busy = false;
-      sim->net->send(id, 0, batch_bytes(children), sim->kernel.now(),
+      sim->net->send(id, 0, batch_bytes(sim->codec, children), sim->kernel.now(),
                      [this, batch_id, children = std::move(children)]() mutable {
                        ++sim->manager_messages;
                        if (sim->manager_alive) {
@@ -211,7 +234,7 @@ void Sim::try_dispatch() {
     const std::uint64_t batch_id = next_batch_id++;
     outstanding.emplace(batch_id, Batch{batch, w, kernel.now()});
     Worker* worker = workers[w - 1].get();
-    net->send(0, w, batch_bytes(batch), kernel.now(),
+    net->send(0, w, batch_bytes(codec, batch), kernel.now(),
               [worker, batch_id, batch = std::move(batch), best = incumbent,
                e = worker->epoch] {
                 // Batches addressed to a crashed incarnation are not handed
@@ -252,7 +275,8 @@ void Sim::maybe_conclude() {
   concluded = true;
   concluded_at = kernel.now();
   for (auto& w : workers) {
-    net->send(0, w->id, 16, kernel.now(), [wp = w.get()] { wp->stopped = true; });
+    net->send(0, w->id, conclude_bytes(codec), kernel.now(),
+              [wp = w.get()] { wp->stopped = true; });
   }
 }
 

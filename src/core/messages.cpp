@@ -55,6 +55,7 @@ Message Message::decode(support::ByteReader& r) {
   m.from = static_cast<NodeId>(r.varint());
   m.best_known = r.f64();
   m.request_id = r.varint();
+  if (!r.ok()) return m;
   switch (m.type) {
     case MsgType::kWorkRequest:
       break;
@@ -63,11 +64,15 @@ Message Message::decode(support::ByteReader& r) {
       break;
     case MsgType::kWorkGrant: {
       const std::uint64_t n = r.varint();
+      // A grant element is at least 1 byte of code plus 8 bytes of bound;
+      // fits_count bounds the reserve against the actual input size.
+      if (!r.fits_count(n, 9)) break;
       m.problems.reserve(n);
       for (std::uint64_t i = 0; i < n; ++i) {
         bnb::Subproblem p;
         p.code = PathCode::decode(r);
         p.bound = r.f64();
+        if (!r.ok()) break;
         m.problems.push_back(std::move(p));
       }
       break;
@@ -76,18 +81,26 @@ Message Message::decode(support::ByteReader& r) {
     case MsgType::kTableGossip:
     case MsgType::kRootReport: {
       const std::uint64_t n = r.varint();
+      if (!r.fits_count(n)) break;
       m.codes.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) m.codes.push_back(PathCode::decode(r));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        PathCode c = PathCode::decode(r);
+        if (!r.ok()) break;
+        m.codes.push_back(std::move(c));
+      }
       break;
     }
     default:
-      FTBB_CHECK_MSG(false, "Message::decode: unknown type");
+      // Recoverable with a tolerant reader (the transport drops the frame);
+      // still an abort on the trusted in-simulator path.
+      r.mark_corrupt("Message::decode: unknown type");
+      break;
   }
   return m;
 }
 
 std::size_t Message::wire_size() const {
-  support::ByteWriter w;
+  support::ByteWriter w = support::ByteWriter::counting();
   encode(w);
   return w.size();
 }

@@ -48,12 +48,24 @@ struct Message {
   /// little to share). A busy deny proves the computation is advancing and
   /// feeds the receiver's progress tracking; an idle deny does not.
   bool busy = false;
+  /// Sender-local report batch marker, monotone per incarnation: the worker
+  /// stamps each kWorkReport / kTableGossip batch before fanning it out, so
+  /// the v1 frame codec advances its per-sender delta state exactly once per
+  /// batch even though the same batch is sent to m peers. Not part of the
+  /// legacy wire encoding; the v1 frame carries the codec's own sequence.
+  std::uint64_t report_seq = 0;
 
+  /// Legacy (v0) flat encoding — the seed-era wire format, and the payload
+  /// the kLegacy frame version ships unframed (see core/frame.hpp for v1).
   void encode(support::ByteWriter& w) const;
+  /// With a tolerant reader, malformed input (truncation, hostile counts,
+  /// unknown type) latches r.ok() == false instead of aborting; callers on
+  /// a transport path must check it. A trusted reader aborts, as before.
   static Message decode(support::ByteReader& r);
 
-  /// Exact encoded size in bytes — the L of the paper's 1.5 + 0.005*L ms
-  /// latency model.
+  /// Exact legacy-encoded size in bytes — the L of the paper's
+  /// 1.5 + 0.005*L ms latency model under the kLegacy frame version.
+  /// Computed with a counting writer: no allocation per call.
   [[nodiscard]] std::size_t wire_size() const;
 
   [[nodiscard]] std::string summary() const;

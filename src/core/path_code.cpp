@@ -11,11 +11,19 @@ void PathCode::encode(support::ByteWriter& w) const {
 
 PathCode PathCode::decode(support::ByteReader& r) {
   const std::uint64_t n = r.varint();
-  FTBB_CHECK_MSG(n <= (1u << 20), "PathCode: implausible depth");
+  if (n > kMaxDepth) r.mark_corrupt("PathCode: implausible depth");
+  // Every step is at least one input byte: a hostile count cannot make the
+  // reserve() below allocate past the input size.
+  if (!r.fits_count(n) || !r.ok()) return PathCode{};
   std::vector<Branch> steps;
   steps.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t packed = r.varint();
+    if (!r.ok()) return PathCode{};
+    if ((packed >> 1) > 0xffffffffULL) {
+      r.mark_corrupt("PathCode: variable index overflow");
+      return PathCode{};
+    }
     steps.push_back(Branch{static_cast<std::uint32_t>(packed >> 1),
                            static_cast<std::uint8_t>(packed & 1)});
   }

@@ -266,6 +266,7 @@ void BnbWorker::send_report() {
   m.from = id_;
   m.best_known = incumbent_;
   m.codes = std::move(codes);
+  m.report_seq = ++report_batches_;
 
   const std::vector<NodeId>& peers = env_->peers();
   if (!peers.empty()) {
@@ -289,6 +290,7 @@ void BnbWorker::send_table_gossip() {
   m.from = id_;
   m.best_known = incumbent_;
   m.codes = table_.export_codes();
+  m.report_seq = ++report_batches_;
   env_->charge(CostKind::kContraction,
                config_.costs.contract_per_node * static_cast<double>(table_.trie_nodes()));
   env_->send(peers[env_->rng().pick(peers.size())], m);

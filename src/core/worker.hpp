@@ -385,6 +385,10 @@ class BnbWorker {
   bool flush_armed_ = false;
   std::uint64_t gossip_gen_ = 0;
 
+  /// Batches stamped into Message::report_seq so the frame codec advances
+  /// its delta state once per report/gossip batch, not once per fanout copy.
+  std::uint64_t report_batches_ = 0;
+
   PathCode last_local_completion_;
 };
 

@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "core/frame.hpp"
+#include "core/messages.hpp"
 #include "core/path_code.hpp"
 #include "dib/dib_pool.hpp"
 #include "sim/kernel.hpp"
@@ -16,8 +18,38 @@ namespace {
 
 using core::PathCode;
 
-/// Approximate wire size of DIB control messages (header + one code).
-std::size_t msg_bytes(const PathCode& code) { return 16 + code.encoded_size(); }
+// Honest wire pricing through the shared frame codec: each DIB exchange is
+// sized as the Message-shaped frame it corresponds to. DIB has no report
+// streams, so every frame is stateless (nullptr delta state).
+std::size_t typed_bytes(const core::FrameCodec& codec, core::MsgType type) {
+  core::Message m;
+  m.type = type;
+  return codec.frame_size(m, nullptr);
+}
+
+/// Donation: a one-problem kWorkGrant.
+std::size_t donate_bytes(const core::FrameCodec& codec, const bnb::Subproblem& sub) {
+  core::Message m;
+  m.type = core::MsgType::kWorkGrant;
+  m.problems.push_back(sub);
+  return codec.frame_size(m, nullptr);
+}
+
+/// Completion report back to the donor: a one-code kWorkReport.
+std::size_t completion_bytes(const core::FrameCodec& codec, const PathCode& code) {
+  core::Message m;
+  m.type = core::MsgType::kWorkReport;
+  m.codes.push_back(code);
+  return codec.frame_size(m, nullptr);
+}
+
+/// Conclusion broadcast from the root machine: a kRootReport.
+std::size_t conclude_bytes(const core::FrameCodec& codec) {
+  core::Message m;
+  m.type = core::MsgType::kRootReport;
+  m.codes.push_back(PathCode::root());
+  return codec.frame_size(m, nullptr);
+}
 
 struct Job {
   PathCode code;
@@ -50,9 +82,11 @@ struct Sim {
   double best = bnb::kInfinity;
   bool best_found = false;
 
+  core::FrameCodec codec;
+
   Sim(const bnb::IProblemModel& m, const DibConfig& c, double limit,
       const sim::ExecutorConfig& ex)
-      : model(m), cfg(c), kernel(ex), time_limit(limit) {}
+      : model(m), cfg(c), kernel(ex), time_limit(limit), codec(c.wire) {}
 };
 
 struct Machine {
@@ -136,7 +170,8 @@ struct Machine {
       sim->best_found = incumbent < bnb::kInfinity;
       for (auto& m : sim->machines) {
         if (m->id != id) {
-          sim->net->send(id, m->id, 16, sim->kernel.now(), [mp = m.get()] {
+          sim->net->send(id, m->id, conclude_bytes(sim->codec),
+                         sim->kernel.now(), [mp = m.get()] {
             mp->stopped = true;
           });
         }
@@ -147,7 +182,8 @@ struct Machine {
     // Report completion to the machine the problem came from.
     const auto donor = static_cast<std::uint32_t>(job.donor);
     Machine* target = sim->machines[donor].get();
-    sim->net->send(id, donor, msg_bytes(job.code), sim->kernel.now(),
+    sim->net->send(id, donor, completion_bytes(sim->codec, job.code),
+                   sim->kernel.now(),
                    [target, donation_id = job.donation_id, best = incumbent] {
                      target->on_completion_report(donation_id, best);
                    });
@@ -223,7 +259,9 @@ struct Machine {
     request_outstanding = true;
     const std::uint64_t gen = ++request_gen;
     Machine* peer = sim->machines[target].get();
-    sim->net->send(id, target, 16, sim->kernel.now(),
+    sim->net->send(id, target,
+                   typed_bytes(sim->codec, core::MsgType::kWorkRequest),
+                   sim->kernel.now(),
                    [peer, from = id, best = incumbent] {
                      peer->on_work_request(from, best);
                    });
@@ -252,13 +290,16 @@ struct Machine {
       ++donations_made;
       ledger.emplace(donation_id,
                      Donation{task, from, task.job, sim->kernel.now()});
-      sim->net->send(id, from, msg_bytes(task.sub.code), sim->kernel.now(),
+      sim->net->send(id, from, donate_bytes(sim->codec, task.sub),
+                     sim->kernel.now(),
                      [requester, sub = task.sub, donation_id, donor = id,
                       best = incumbent] {
                        requester->on_grant(sub, donor, donation_id, best);
                      });
     } else {
-      sim->net->send(id, from, 16, sim->kernel.now(),
+      sim->net->send(id, from,
+                     typed_bytes(sim->codec, core::MsgType::kWorkDeny),
+                     sim->kernel.now(),
                      [requester, best = incumbent] { requester->on_deny(best); });
     }
   }

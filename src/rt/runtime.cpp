@@ -28,8 +28,12 @@ struct TimerFire {
   core::TimerKind kind;
   std::uint64_t gen;
 };
+struct InboundMsg {
+  core::Message msg;
+  std::size_t bytes;  // frame size as received off the wire
+};
 struct Poison {};
-using Event = std::variant<core::Message, TimerFire, Poison>;
+using Event = std::variant<InboundMsg, TimerFire, Poison>;
 
 using ExpansionMap =
     std::unordered_map<core::PathCode, std::uint32_t, core::PathCodeHash>;
@@ -171,6 +175,9 @@ class Incarnation final : public core::IWorkerEnv {
   [[nodiscard]] const core::BnbWorker& worker() const { return *worker_; }
   [[nodiscard]] const ExpansionMap& expansions() const { return expansions_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  /// Whether this incarnation opened a v1 report delta chain (sent at least
+  /// one report/gossip batch). Post-run observer: read after join_thread().
+  [[nodiscard]] bool opened_report_stream() const { return delta_.active; }
 
   bool join_thread() {
     if (!thread_.joinable()) return false;
@@ -200,11 +207,11 @@ class Incarnation final : public core::IWorkerEnv {
       Event e = mailbox_.pop();
       if (std::holds_alternative<Poison>(e)) break;
       if (stopped()) break;
-      if (auto* msg = std::get_if<core::Message>(&e)) {
+      if (auto* in = std::get_if<InboundMsg>(&e)) {
         if (!worker_->halted()) {
           worker_->stats().msgs_received++;
-          worker_->stats().bytes_received += msg->wire_size();
-          worker_->on_message(*msg);
+          worker_->stats().bytes_received += in->bytes;
+          worker_->on_message(in->msg);
         }
       } else {
         const TimerFire& fire = std::get<TimerFire>(e);
@@ -220,6 +227,9 @@ class Incarnation final : public core::IWorkerEnv {
   std::optional<core::BnbWorker> worker_;
   ExpansionMap expansions_;
   std::thread thread_;
+  core::ReportDeltaState delta_;  // dies with the incarnation: a revived
+                                  // worker never deltas against a dead
+                                  // predecessor's last report
   std::atomic<bool> stopped_{false};
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
@@ -261,7 +271,7 @@ class WorkerHost {
   /// Delivery entry points (scheduler thread). `epoch` is the incarnation
   /// captured when the message/timer was created; mail for a dead
   /// incarnation is dropped even if the member has since been revived.
-  void accept_message(core::Message msg, std::uint64_t epoch);
+  void accept_message(core::Message msg, std::size_t bytes, std::uint64_t epoch);
   void accept_timer(core::TimerKind kind, std::uint64_t gen, std::uint64_t epoch);
 
   /// Called by the current incarnation's thread on termination detection.
@@ -290,6 +300,14 @@ class WorkerHost {
   [[nodiscard]] bool ever_crashed() const { return ever_crashed_; }
   [[nodiscard]] std::uint32_t incarnation_count() const {
     return static_cast<std::uint32_t>(retired_.size()) + (current_ ? 1u : 0u);
+  }
+  [[nodiscard]] std::uint32_t report_streams() const {
+    std::uint32_t n = 0;
+    for (const auto& inc : retired_) {
+      if (inc->opened_report_stream()) ++n;
+    }
+    if (current_ && current_->opened_report_stream()) ++n;
+    return n;
   }
   [[nodiscard]] const Incarnation* current() const { return current_.get(); }
 
@@ -373,6 +391,7 @@ class RtCluster final : public fault::IFaultBackend, public fault::IFaultClock {
 
   const bnb::IProblemModel& model_;
   RtConfig config_;
+  core::FrameCodec codec_;
   std::uint32_t population_ = 0;
   Clock::time_point start_{};
   Scheduler scheduler_;
@@ -411,6 +430,7 @@ class RtCluster final : public fault::IFaultBackend, public fault::IFaultClock {
   std::atomic<std::uint64_t> net_partitioned_{0};
   std::atomic<std::uint64_t> net_bytes_sent_{0};
   std::atomic<std::uint64_t> net_bytes_delivered_{0};
+  std::atomic<std::uint64_t> net_decode_errors_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -427,9 +447,10 @@ double Incarnation::now() const { return host_->cluster_->now_wall(); }
 
 void Incarnation::send(core::NodeId to, core::Message msg) {
   if (stopped()) return;  // crash-stop: a dead incarnation sends nothing
-  // Real wire crossing: encode here, decode at the receiver.
+  // Real wire crossing: frame-encode here, decode at the receiver. The
+  // delta state is this incarnation's own and is touched only by its thread.
   support::ByteWriter w;
-  msg.encode(w);
+  host_->cluster_->codec_.encode(msg, &delta_, w);
   worker_->stats().msgs_sent++;
   worker_->stats().bytes_sent += w.size();
   host_->cluster_->transport_send(host_->id(), to, std::move(w));
@@ -567,10 +588,11 @@ void WorkerHost::abandon_join() {
   }
 }
 
-void WorkerHost::accept_message(core::Message msg, std::uint64_t epoch) {
+void WorkerHost::accept_message(core::Message msg, std::size_t bytes,
+                                std::uint64_t epoch) {
   std::lock_guard lock(mu_);
   if (!current_ || epoch != epoch_ || !alive_ || !started_) return;
-  current_->mailbox().push(Event{std::move(msg)});
+  current_->mailbox().push(Event{InboundMsg{std::move(msg), bytes}});
 }
 
 void WorkerHost::accept_timer(core::TimerKind kind, std::uint64_t gen,
@@ -598,7 +620,7 @@ void WorkerHost::on_incarnation_halted(std::uint64_t epoch) {
 // ---------------------------------------------------------------------------
 
 RtCluster::RtCluster(const bnb::IProblemModel& model, const RtConfig& config)
-    : model_(model), config_(config), net_(config.net) {
+    : model_(model), config_(config), codec_(config.wire), net_(config.net) {
   FTBB_CHECK(config_.workers >= 1);
   population_ = std::max(config_.workers, config_.faults.population);
   support::Rng master(config_.seed);
@@ -650,8 +672,14 @@ void RtCluster::transport_send(std::uint32_t from, core::NodeId to,
       now + latency, [this, to, dest_epoch, bytes, buf = w.take()]() {
         net_delivered_.fetch_add(1, std::memory_order_relaxed);
         net_bytes_delivered_.fetch_add(bytes, std::memory_order_relaxed);
-        support::ByteReader reader(buf);
-        hosts_[to]->accept_message(core::Message::decode(reader), dest_epoch);
+        core::FrameDecode frame = core::FrameCodec::decode(buf);
+        if (!frame.ok()) {
+          // A frame that fails to decode is a network event, not a fault:
+          // count it and drop it, exactly like a lost message.
+          net_decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        hosts_[to]->accept_message(std::move(frame.msg), bytes, dest_epoch);
       });
 }
 
@@ -701,6 +729,7 @@ RtResult RtCluster::run() {
     result.workers.push_back(host->merged_stats());
     result.crashed.push_back(host->ever_crashed());
     result.incarnations_per_worker.push_back(host->incarnation_count());
+    result.report_streams_per_worker.push_back(host->report_streams());
     result.incarnations += host->incarnation_count();
     host->merge_expansions(merged);
     if (host->alive() && host->started()) {
@@ -727,6 +756,7 @@ RtResult RtCluster::run() {
   result.net.messages_partitioned = net_partitioned_.load();
   result.net.bytes_sent = net_bytes_sent_.load();
   result.net.bytes_delivered = net_bytes_delivered_.load();
+  result.net.decode_errors = net_decode_errors_.load();
   return result;
 }
 

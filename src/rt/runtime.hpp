@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "bnb/problem.hpp"
+#include "core/frame.hpp"
 #include "core/worker.hpp"
 #include "fault/schedule.hpp"
 #include "sim/network.hpp"
@@ -56,6 +57,10 @@ struct RtConfig {
   /// Compiled fault schedule; all times are wall seconds since run start.
   /// Joins at/after wall_timeout are abandoned (the member never enters).
   fault::FaultSchedule faults;
+  /// Wire frame version. The runtime actually ships and decodes the bytes,
+  /// so it defaults to the framed, delta-coded v1 encoding; kLegacy is
+  /// available for apples-to-apples byte comparisons.
+  core::FrameVersion wire = core::FrameVersion::kV1;
 };
 
 /// Transport counters (the rt analogue of sim::Network::Stats).
@@ -66,6 +71,10 @@ struct RtNetStats {
   std::uint64_t messages_partitioned = 0; // dropped at a partition
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_delivered = 0;
+  /// Frames that arrived but failed FrameCodec::decode (corrupt, truncated,
+  /// unknown version...). The transport drops them — a decode failure is a
+  /// recoverable network event, never a crash. Zero on a healthy run.
+  std::uint64_t decode_errors = 0;
 };
 
 struct RtResult {
@@ -79,6 +88,11 @@ struct RtResult {
   std::vector<core::WorkerStats> workers;
   std::vector<bool> crashed;  // ever crash-injected
   std::vector<std::uint32_t> incarnations_per_worker;
+  /// Per member: incarnations that opened a v1 report delta chain (sent at
+  /// least one report/gossip batch). A worker crashed mid-stream and revived
+  /// shows 2 — the revived incarnation restarted from a self-contained
+  /// report rather than the dead predecessor's delta base.
+  std::vector<std::uint32_t> report_streams_per_worker;
   /// Incarnation hygiene: every spawned worker thread must be joined by the
   /// time the result exists. The chaos-soak test asserts reaped ==
   /// incarnations, i.e. churn never leaks a thread.

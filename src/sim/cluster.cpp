@@ -110,6 +110,9 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     ++epoch_;
     alive_ = true;
     started_ = true;
+    // The new incarnation's first report must be self-contained: never delta
+    // against the dead predecessor's last batch.
+    delta_.reset();
     pending_.clear();
     busy_until_ = cluster_->kernel_.now();
     wait_hint_ = core::WaitHint::kIdle;
@@ -119,11 +122,13 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 
   /// Entry point for message arrivals from the network. `epoch` is the
   /// incarnation the sender addressed; mail for a dead incarnation is
-  /// dropped even if the worker has since been revived.
-  void accept(core::Message msg, std::uint64_t epoch) {
+  /// dropped even if the worker has since been revived. `bytes` is the
+  /// sender-computed frame size (the receiver cannot recompute a v1 frame's
+  /// size from the Message alone — delta coding made it sender-stateful).
+  void accept(core::Message msg, std::size_t bytes, std::uint64_t epoch) {
     if (epoch != epoch_) return;  // addressed to a crashed incarnation
     if (!started_ || !alive_ || worker_->halted()) return;  // crash-stop / terminated
-    pending_.emplace_back(std::move(msg));
+    pending_.emplace_back(Inbound{std::move(msg), bytes});
     pump();
   }
 
@@ -132,7 +137,29 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   [[nodiscard]] double now() const override { return busy_until_; }
 
   void send(core::NodeId to, core::Message msg) override {
-    const std::size_t bytes = msg.wire_size();
+    // Frame-size the message under the cluster's wire version; for
+    // report/gossip under kV1 this advances the per-incarnation delta state
+    // (idempotently per batch — the m fanout copies size identically).
+    const bool is_report = msg.type == core::MsgType::kWorkReport ||
+                           msg.type == core::MsgType::kTableGossip;
+    const bool was_active = delta_.active;
+    const std::size_t bytes = cluster_->codec_.frame_size(msg, &delta_);
+    ++wire_.frames;
+    wire_.frame_bytes += bytes;
+    wire_.flat_bytes += msg.wire_size();
+    if (is_report) {
+      ++wire_.report_frames;
+      wire_.report_frame_bytes += bytes;
+      wire_.report_flat_bytes += msg.wire_size();
+      if (delta_.active) {
+        if (!was_active) ++report_streams_;
+        if (delta_.seq == 0) {
+          ++wire_.self_contained_reports;
+        } else {
+          ++wire_.delta_reports;
+        }
+      }
+    }
     auto& stats = worker_->stats();
     ++stats.msgs_sent;
     stats.bytes_sent += bytes;
@@ -142,8 +169,8 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     WorkerHost* dest = cluster_->hosts_[to].get();
     cluster_->network_->send(
         id_, to, bytes, busy_until_,
-        [dest, dest_epoch = dest->epoch(), msg = std::move(msg)]() mutable {
-          dest->accept(std::move(msg), dest_epoch);
+        [dest, dest_epoch = dest->epoch(), bytes, msg = std::move(msg)]() mutable {
+          dest->accept(std::move(msg), bytes, dest_epoch);
         });
   }
 
@@ -212,12 +239,19 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     }
   }
 
+  [[nodiscard]] const WireStats& wire_stats() const { return wire_; }
+  [[nodiscard]] std::uint32_t report_streams() const { return report_streams_; }
+
  private:
   struct TimerFire {
     core::TimerKind kind;
     std::uint64_t gen;
   };
-  using Pending = std::variant<core::Message, TimerFire>;
+  struct Inbound {
+    core::Message msg;
+    std::size_t bytes;  // frame size as computed (and charged) by the sender
+  };
+  using Pending = std::variant<Inbound, TimerFire>;
 
   void attribute_gap(double from, double to) {
     const double dur = to - from;
@@ -256,16 +290,16 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
         attribute_gap(busy_until_, t);
         busy_until_ = t;
       }
-      if (std::holds_alternative<core::Message>(e)) {
-        core::Message& msg = std::get<core::Message>(e);
+      if (std::holds_alternative<Inbound>(e)) {
+        Inbound& in = std::get<Inbound>(e);
         auto& stats = worker_->stats();
         ++stats.msgs_received;
-        stats.bytes_received += msg.wire_size();
+        stats.bytes_received += in.bytes;
         charge(core::CostKind::kComm,
                cluster_->config_.worker.costs.recv_fixed +
                    cluster_->config_.worker.costs.recv_per_byte *
-                       static_cast<double>(msg.wire_size()));
-        worker_->on_message(msg);
+                       static_cast<double>(in.bytes));
+        worker_->on_message(in.msg);
       } else {
         const TimerFire& fire = std::get<TimerFire>(e);
         worker_->on_timer(fire.kind, fire.gen);
@@ -302,6 +336,9 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   core::WaitHint wait_hint_ = core::WaitHint::kIdle;
   std::deque<Pending> pending_;
   std::uint64_t wake_gen_ = 0;
+  core::ReportDeltaState delta_;   // per-incarnation; reset on revive()
+  WireStats wire_;                 // all incarnations of this worker
+  std::uint32_t report_streams_ = 0;  // incarnations that opened a v1 chain
   ExpansionMap expansions_;   // every expansion this host performed
   trace::Timeline trace_;     // host-local; merged in collect()
 };
@@ -327,7 +364,10 @@ ExecutorConfig executor_config(const ClusterConfig& config) {
 }  // namespace
 
 SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& config)
-    : model_(model), config_(config), kernel_(executor_config(config)) {
+    : model_(model),
+      config_(config),
+      codec_(config.wire),
+      kernel_(executor_config(config)) {
   FTBB_CHECK(config_.workers >= 1);
   FTBB_CHECK(config_.root_holder < config_.workers);
   support::Rng master(config_.seed);
@@ -495,6 +535,8 @@ ClusterResult SimCluster::collect() {
     res.total_expanded += merged.expanded;
     res.total_completions += merged.completions;
     res.total_report_codes += merged.report_codes_sent;
+    res.wire.add(host->wire_stats());
+    res.report_streams_per_worker.push_back(host->report_streams());
   }
   res.all_live_halted = live_total > 0 && live_halted == live_total;
   if (!res.all_live_halted) res.makespan = end_time;

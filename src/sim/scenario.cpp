@@ -87,6 +87,7 @@ ScenarioReport run_ftbb(const ScenarioSpec& spec,
   cfg.loss_rules = schedule.loss_rules;
   cfg.seed = spec.seed;
   cfg.time_limit = spec.time_limit;
+  if (spec.wire.has_value()) cfg.wire = *spec.wire;
   for (const fault::CrashAt& c : schedule.crashes) {
     cfg.crashes.push_back(CrashEvent{c.node, c.time});
   }
@@ -133,6 +134,7 @@ ScenarioReport run_central(const ScenarioSpec& spec,
 
   central::CentralConfig central_cfg = spec.central;
   central_cfg.sim_threads = spec.sim_threads;
+  if (spec.wire.has_value()) central_cfg.wire = *spec.wire;
   const central::CentralResult res =
       central::CentralSim::run_with_faults(*workload.model, schedule.population,
                                            central_cfg, net, faults,
@@ -169,6 +171,7 @@ ScenarioReport run_dib(const ScenarioSpec& spec,
 
   dib::DibConfig dib_cfg = spec.dib;
   dib_cfg.sim_threads = spec.sim_threads;
+  if (spec.wire.has_value()) dib_cfg.wire = *spec.wire;
   const dib::DibResult res =
       dib::DibSim::run_with_faults(*workload.model, schedule.population, dib_cfg,
                                    net, faults, spec.time_limit, spec.seed);
@@ -198,6 +201,7 @@ ScenarioReport run_rt(const ScenarioSpec& spec,
   cfg.time_scale = spec.rt_time_scale;
   cfg.wall_timeout = spec.rt_wall_timeout;
   cfg.faults = schedule;
+  if (spec.wire.has_value()) cfg.wire = *spec.wire;
 
   const rt::RtResult res = rt::Cluster::run(*workload.model, cfg);
 

@@ -20,12 +20,36 @@
 namespace ftbb::support {
 
 /// Append-only encoder producing a byte vector.
+///
+/// A counting() writer accepts the same encode calls but accumulates size()
+/// only, never touching a buffer — the allocation-free path behind every
+/// per-send wire_size() / frame_size() latency charge.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+
+  /// Counting-only writer: size() without bytes. data()/take() are invalid.
+  static ByteWriter counting() { return ByteWriter(true); }
+  [[nodiscard]] bool counting_only() const { return counting_; }
+
+  void u8(std::uint8_t v) {
+    if (counting_) {
+      ++count_;
+      return;
+    }
+    buf_.push_back(v);
+  }
 
   /// Unsigned LEB128 varint, 1..10 bytes.
   void varint(std::uint64_t v) {
+    if (counting_) {
+      while (v >= 0x80) {
+        ++count_;
+        v >>= 7;
+      }
+      ++count_;
+      return;
+    }
     while (v >= 0x80) {
       buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
       v >>= 7;
@@ -41,6 +65,10 @@ class ByteWriter {
 
   /// IEEE-754 doubles verbatim (bounds, incumbents, timestamps).
   void f64(double v) {
+    if (counting_) {
+      count_ += 8;
+      return;
+    }
     std::uint64_t bits;
     static_assert(sizeof(bits) == sizeof(v));
     __builtin_memcpy(&bits, &v, sizeof(bits));
@@ -48,6 +76,10 @@ class ByteWriter {
   }
 
   void bytes(const void* data, std::size_t n) {
+    if (counting_) {
+      count_ += n;
+      return;
+    }
     const auto* p = static_cast<const std::uint8_t*>(data);
     buf_.insert(buf_.end(), p, p + n);
   }
@@ -57,25 +89,75 @@ class ByteWriter {
     bytes(s.data(), s.size());
   }
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const {
+    return counting_ ? count_ : buf_.size();
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const {
+    FTBB_CHECK_MSG(!counting_, "counting ByteWriter holds no bytes");
+    return buf_;
+  }
+  std::vector<std::uint8_t> take() {
+    FTBB_CHECK_MSG(!counting_, "counting ByteWriter holds no bytes");
+    return std::move(buf_);
+  }
 
  private:
+  explicit ByteWriter(bool counting) : counting_(counting) {}
+
   std::vector<std::uint8_t> buf_;
+  std::size_t count_ = 0;
+  bool counting_ = false;
 };
 
-/// Sequential decoder over a byte span. Decoding errors abort via FTBB_CHECK:
-/// inside the simulator a malformed message is an implementation bug, never
-/// an environmental condition (the network model does not corrupt payloads,
-/// matching the paper's assumption that links do not corrupt messages).
+/// Sequential decoder over a byte span, in one of two failure disciplines:
+///
+///  * kTrusted (default): decoding errors abort via FTBB_CHECK. Inside the
+///    simulator a malformed message is an implementation bug, never an
+///    environmental condition (the network model does not corrupt payloads,
+///    matching the paper's assumption that links do not corrupt messages).
+///  * kTolerant: errors latch a failure flag instead of aborting; every
+///    subsequent read returns a zero value and ok() turns false. This is the
+///    discipline for bytes that crossed a real transport — a corrupt or
+///    truncated frame must surface as a droppable decode error, not a
+///    process abort.
 class ByteReader {
  public:
-  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
-  explicit ByteReader(const std::vector<std::uint8_t>& v) : ByteReader(v.data(), v.size()) {}
+  enum class Policy : std::uint8_t { kTrusted = 0, kTolerant = 1 };
+
+  ByteReader(const std::uint8_t* data, std::size_t size,
+             Policy policy = Policy::kTrusted)
+      : data_(data), size_(size), policy_(policy) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& v,
+                      Policy policy = Policy::kTrusted)
+      : ByteReader(v.data(), v.size(), policy) {}
+
+  /// False once any read failed (tolerant mode only; trusted mode aborts).
+  [[nodiscard]] bool ok() const { return !failed_; }
+
+  /// Marks the stream corrupt — tolerant readers latch the failure, trusted
+  /// readers abort. For decoders that discover semantically impossible
+  /// values (implausible depths, counts exceeding the input).
+  void mark_corrupt(const char* why) { fail(why); }
+
+  /// True when a collection of `n` elements, each occupying at least
+  /// `min_bytes_each` input bytes, could still fit in the remaining input.
+  /// Decoders MUST gate reserve() on attacker-controlled counts with this —
+  /// a hostile varint count must not allocate beyond the input size.
+  [[nodiscard]] bool fits_count(std::uint64_t n, std::size_t min_bytes_each = 1) {
+    if (failed_) return false;
+    if (min_bytes_each == 0 ||
+        n <= static_cast<std::uint64_t>(remaining() / min_bytes_each)) {
+      return true;
+    }
+    fail("ByteReader: collection count exceeds remaining bytes");
+    return false;
+  }
 
   std::uint8_t u8() {
-    FTBB_CHECK_MSG(pos_ < size_, "ByteReader: truncated u8");
+    if (failed_ || pos_ >= size_) {
+      fail("ByteReader: truncated u8");
+      return 0;
+    }
     return data_[pos_++];
   }
 
@@ -83,9 +165,15 @@ class ByteReader {
     std::uint64_t v = 0;
     int shift = 0;
     while (true) {
-      FTBB_CHECK_MSG(pos_ < size_, "ByteReader: truncated varint");
+      if (failed_ || pos_ >= size_) {
+        fail("ByteReader: truncated varint");
+        return 0;
+      }
       const std::uint8_t byte = data_[pos_++];
-      FTBB_CHECK_MSG(shift < 64, "ByteReader: varint overflow");
+      if (shift >= 64) {
+        fail("ByteReader: varint overflow");
+        return 0;
+      }
       v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
       if (!(byte & 0x80)) return v;
       shift += 7;
@@ -98,7 +186,10 @@ class ByteReader {
   }
 
   double f64() {
-    FTBB_CHECK_MSG(pos_ + 8 <= size_, "ByteReader: truncated f64");
+    if (failed_ || size_ - pos_ < 8) {
+      fail("ByteReader: truncated f64");
+      return 0.0;
+    }
     std::uint64_t bits = 0;
     for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 8;
@@ -109,9 +200,14 @@ class ByteReader {
 
   std::string str() {
     const std::uint64_t n = varint();
-    FTBB_CHECK_MSG(pos_ + n <= size_, "ByteReader: truncated string");
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
-    pos_ += n;
+    // remaining() comparison, not pos_ + n: a huge n must not wrap the sum.
+    if (failed_ || n > size_ - pos_) {
+      fail("ByteReader: truncated string");
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
     return s;
   }
 
@@ -119,9 +215,18 @@ class ByteReader {
   [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
  private:
+  void fail(const char* why) {
+    if (policy_ == Policy::kTrusted && !failed_) {
+      FTBB_CHECK_MSG(false, why);
+    }
+    failed_ = true;
+  }
+
   const std::uint8_t* data_;
   std::size_t size_;
   std::size_t pos_ = 0;
+  Policy policy_ = Policy::kTrusted;
+  bool failed_ = false;
 };
 
 /// Number of bytes varint(v) would occupy; used for size estimation without

@@ -1,6 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/frame.hpp"
 #include "core/messages.hpp"
+#include "support/rng.hpp"
 
 namespace ftbb::core {
 namespace {
@@ -111,6 +117,264 @@ TEST(Messages, SummaryMentionsTypeAndCounts) {
   const std::string s = m.summary();
   EXPECT_NE(s.find("work-grant"), std::string::npos);
   EXPECT_NE(s.find("problems=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec: property round-trips and decode robustness (core/frame.hpp).
+// ---------------------------------------------------------------------------
+
+PathCode random_code(support::Rng& rng, std::size_t max_depth = 12) {
+  PathCode c = PathCode::root();
+  const std::size_t depth = rng.pick(max_depth + 1);
+  for (std::size_t i = 0; i < depth; ++i) {
+    c = c.child(static_cast<std::uint32_t>(rng.pick(40)), rng.chance(0.5));
+  }
+  return c;
+}
+
+Message random_message(support::Rng& rng) {
+  Message m;
+  m.type = static_cast<MsgType>(1 + rng.pick(6));
+  m.from = static_cast<NodeId>(rng.pick(1 << 20));
+  m.request_id = rng.next() >> rng.pick(64);
+  m.best_known = rng.chance(0.2) ? bnb::kInfinity : rng.uniform(-1e6, 1e6);
+  switch (m.type) {
+    case MsgType::kWorkRequest:
+      break;
+    case MsgType::kWorkDeny:
+      m.busy = rng.chance(0.5);
+      break;
+    case MsgType::kWorkGrant:
+      for (std::size_t i = 0, n = rng.pick(6); i < n; ++i) {
+        m.problems.push_back(
+            bnb::Subproblem{random_code(rng), rng.uniform(-1e3, 1e3)});
+      }
+      break;
+    case MsgType::kWorkReport:
+    case MsgType::kTableGossip:
+      m.report_seq = 1 + rng.pick(100);
+      [[fallthrough]];
+    case MsgType::kRootReport:
+      for (std::size_t i = 0, n = rng.pick(10); i < n; ++i) {
+        m.codes.push_back(random_code(rng));
+      }
+      break;
+  }
+  return m;
+}
+
+/// Field-by-field equality over everything each type puts on the wire
+/// (report_seq is transport bookkeeping, not content, and is excluded).
+void expect_same_content(const Message& a, const Message& b) {
+  EXPECT_EQ(a.type, b.type);
+  EXPECT_EQ(a.from, b.from);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(a.best_known),
+            std::bit_cast<std::uint64_t>(b.best_known));
+  EXPECT_EQ(a.request_id, b.request_id);
+  if (a.type == MsgType::kWorkDeny) EXPECT_EQ(a.busy, b.busy);
+  ASSERT_EQ(a.problems.size(), b.problems.size());
+  for (std::size_t i = 0; i < a.problems.size(); ++i) {
+    EXPECT_EQ(a.problems[i].code, b.problems[i].code);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a.problems[i].bound),
+              std::bit_cast<std::uint64_t>(b.problems[i].bound));
+  }
+  EXPECT_EQ(a.codes, b.codes);
+}
+
+std::vector<std::uint8_t> encode_frame(const FrameCodec& codec,
+                                       const Message& m,
+                                       ReportDeltaState* state) {
+  support::ByteWriter w;
+  codec.encode(m, state, w);
+  return std::move(w.data());
+}
+
+TEST(Frames, RandomMessagesSurviveBothVersions) {
+  support::Rng rng(20260808);
+  const FrameCodec legacy(FrameVersion::kLegacy);
+  const FrameCodec v1(FrameVersion::kV1);
+  for (int trial = 0; trial < 400; ++trial) {
+    const Message m = random_message(rng);
+    {
+      const auto buf = encode_frame(legacy, m, nullptr);
+      const FrameDecode d = FrameCodec::decode(buf);
+      ASSERT_TRUE(d.ok()) << to_string(d.status);
+      EXPECT_EQ(d.version, FrameVersion::kLegacy);
+      expect_same_content(m, d.msg);
+    }
+    {
+      ReportDeltaState state;
+      const auto buf = encode_frame(v1, m, &state);
+      const FrameDecode d = FrameCodec::decode(buf);
+      ASSERT_TRUE(d.ok()) << to_string(d.status);
+      EXPECT_EQ(d.version, FrameVersion::kV1);
+      expect_same_content(m, d.msg);
+    }
+  }
+}
+
+TEST(Frames, CountingSizeMatchesEncodedSize) {
+  support::Rng rng(7);
+  for (const FrameVersion version :
+       {FrameVersion::kLegacy, FrameVersion::kV1}) {
+    const FrameCodec codec(version);
+    // Two states advanced in lockstep: frame_size() must walk the same
+    // delta-state path as encode() for a chained report stream.
+    ReportDeltaState counted, encoded;
+    for (int trial = 0; trial < 200; ++trial) {
+      const Message m = random_message(rng);
+      const std::size_t counted_size = codec.frame_size(m, &counted);
+      const auto buf = encode_frame(codec, m, &encoded);
+      EXPECT_EQ(counted_size, buf.size()) << to_string(version);
+    }
+  }
+}
+
+TEST(Frames, DeltaChainDecodesStandaloneAcrossBatches) {
+  // One sender incarnation emitting a stream of report batches: every frame
+  // must decode in isolation (receivers are random fanout peers and any
+  // frame may be the first one they see of this sender).
+  support::Rng rng(99);
+  const FrameCodec v1(FrameVersion::kV1);
+  ReportDeltaState state;
+  for (std::uint64_t batch = 1; batch <= 50; ++batch) {
+    Message m;
+    m.type = batch % 7 == 0 ? MsgType::kTableGossip : MsgType::kWorkReport;
+    m.from = 3;
+    m.best_known = 10.0;
+    m.report_seq = batch;
+    for (std::size_t i = 0, n = rng.pick(8); i < n; ++i) {
+      m.codes.push_back(random_code(rng));
+    }
+    // The worker fans the same batch out to several peers: every copy must
+    // encode identically (the state advances once per report_seq).
+    const auto first = encode_frame(v1, m, &state);
+    const auto second = encode_frame(v1, m, &state);
+    EXPECT_EQ(first, second);
+    const FrameDecode d = FrameCodec::decode(first);
+    ASSERT_TRUE(d.ok()) << to_string(d.status) << " at batch " << batch;
+    EXPECT_EQ(d.msg.codes, m.codes);
+    EXPECT_EQ(d.msg.report_seq, batch - 1);  // codec's own wire sequence
+  }
+  EXPECT_EQ(state.seq, 49u);
+}
+
+TEST(Frames, EveryTruncationDecodesToErrorNotCrash) {
+  support::Rng rng(13);
+  for (const FrameVersion version :
+       {FrameVersion::kLegacy, FrameVersion::kV1}) {
+    const FrameCodec codec(version);
+    for (int trial = 0; trial < 40; ++trial) {
+      ReportDeltaState state;
+      const Message m = random_message(rng);
+      const auto buf = encode_frame(codec, m, &state);
+      for (std::size_t len = 0; len < buf.size(); ++len) {
+        const FrameDecode d = FrameCodec::decode(buf.data(), len);
+        EXPECT_FALSE(d.ok())
+            << to_string(version) << " prefix " << len << "/" << buf.size();
+      }
+    }
+  }
+}
+
+TEST(Frames, EveryBitFlipDecodesOrErrorsNeverCrashes) {
+  // No checksum in the frame, so a flipped payload bit may decode to a
+  // different valid message — the guarantee under test is purely that no
+  // single-bit corruption can crash or over-allocate the decoder.
+  support::Rng rng(29);
+  for (const FrameVersion version :
+       {FrameVersion::kLegacy, FrameVersion::kV1}) {
+    const FrameCodec codec(version);
+    for (int trial = 0; trial < 20; ++trial) {
+      ReportDeltaState state;
+      const Message m = random_message(rng);
+      const auto buf = encode_frame(codec, m, &state);
+      for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+        for (int bit = 0; bit < 8; ++bit) {
+          auto flipped = buf;
+          flipped[byte] ^= static_cast<std::uint8_t>(1u << bit);
+          (void)FrameCodec::decode(flipped);  // must return, never abort
+        }
+      }
+    }
+  }
+}
+
+TEST(Frames, WrongVersionByteIsRecoverable) {
+  Message m;
+  m.type = MsgType::kWorkRequest;
+  m.from = 5;
+  auto buf = encode_frame(FrameCodec(FrameVersion::kV1), m, nullptr);
+  ASSERT_GE(buf.size(), 2u);
+  ASSERT_EQ(buf[0], kFrameMagic);
+  buf[1] = 2;  // a future version we do not speak
+  EXPECT_EQ(FrameCodec::decode(buf).status, DecodeStatus::kUnknownVersion);
+  buf[1] = 0xee;
+  EXPECT_EQ(FrameCodec::decode(buf).status, DecodeStatus::kUnknownVersion);
+}
+
+TEST(Frames, UnframedGarbageIsBadMagic) {
+  // First byte is neither the v1 magic nor a legacy MsgType (1..6).
+  const std::vector<std::uint8_t> garbage = {0x07, 0x01, 0x02, 0x03};
+  EXPECT_EQ(FrameCodec::decode(garbage).status, DecodeStatus::kBadMagic);
+  const std::vector<std::uint8_t> zero = {0x00};
+  EXPECT_EQ(FrameCodec::decode(zero).status, DecodeStatus::kBadMagic);
+}
+
+TEST(Frames, FramedUnknownTypeIsRejected) {
+  Message m;
+  m.type = MsgType::kWorkDeny;
+  auto buf = encode_frame(FrameCodec(FrameVersion::kV1), m, nullptr);
+  buf[2] = 9;  // outside the MsgType enum
+  EXPECT_EQ(FrameCodec::decode(buf).status, DecodeStatus::kUnknownType);
+}
+
+TEST(Frames, TrailingBytesAreALengthMismatch) {
+  Message m;
+  m.type = MsgType::kWorkRequest;
+  for (const FrameVersion version :
+       {FrameVersion::kLegacy, FrameVersion::kV1}) {
+    auto buf = encode_frame(FrameCodec(version), m, nullptr);
+    buf.push_back(0xab);
+    EXPECT_EQ(FrameCodec::decode(buf).status, DecodeStatus::kLengthMismatch)
+        << to_string(version);
+  }
+}
+
+TEST(Frames, HostileCountsNeverOverAllocate) {
+  // Legacy kWorkGrant claiming ~2^60 problems in a 20-byte buffer: the
+  // decoder must bound the claimed count against the remaining bytes
+  // instead of reserving petabytes.
+  support::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kWorkGrant));
+  w.varint(1);                 // from
+  w.f64(0.0);                  // best_known
+  w.varint(0);                 // request_id
+  w.varint(1ull << 60);        // hostile problem count
+  w.u8(0);
+  EXPECT_FALSE(FrameCodec::decode(w.data()).ok());
+
+  // Same attack through a v1 report frame: a huge code count and a huge
+  // delta `add` count inside a tiny declared payload.
+  support::ByteWriter v;
+  v.u8(kFrameMagic);
+  v.u8(1);
+  v.u8(static_cast<std::uint8_t>(MsgType::kWorkReport));
+  support::ByteWriter payload;
+  payload.varint(1);            // from
+  payload.f64(0.0);             // best_known
+  payload.varint(0);            // request_id
+  payload.varint(0);            // wire seq 0: self-contained
+  payload.varint(1ull << 50);   // hostile code count
+  v.varint(payload.size());
+  for (const std::uint8_t b : payload.data()) v.u8(b);
+  EXPECT_FALSE(FrameCodec::decode(v.data()).ok());
+}
+
+TEST(Frames, EmptyAndOneByteInputsAreErrors) {
+  EXPECT_EQ(FrameCodec::decode(nullptr, 0).status, DecodeStatus::kTruncated);
+  const std::uint8_t magic_only = kFrameMagic;
+  EXPECT_FALSE(FrameCodec::decode(&magic_only, 1).ok());
 }
 
 }  // namespace
