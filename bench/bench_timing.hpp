@@ -13,10 +13,13 @@ inline double now_seconds() {
 }
 
 /// Runs `op` (which performs `ops_per_call` logical operations) repeatedly
-/// for at least `target_seconds`, returns operations per second. The first
-/// call warms up outside the measurement window.
+/// for at least `target_seconds`, returns operations per second. Two calls
+/// warm up outside the measurement window — two, because adaptive structures
+/// under test (e.g. the pool's lazy nursery) may spend their first *two*
+/// calls transitioning to steady state.
 template <typename Fn>
 double measure(double target_seconds, double ops_per_call, Fn&& op) {
+  op();
   op();
   std::uint64_t calls = 0;
   const double start = now_seconds();

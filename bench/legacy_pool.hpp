@@ -43,6 +43,8 @@ class LegacyPool {
   [[nodiscard]] bool empty() const { return entries_.empty(); }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  void clear() { entries_.clear(); }
+
   bnb::Subproblem pop() {
     FTBB_CHECK_MSG(!entries_.empty(), "pop from empty pool");
     bnb::Subproblem top = std::move(entries_.front());

@@ -83,26 +83,52 @@ bool ActivePool::CodeLess::operator()(const PathCode& c, const Entry* b) const {
 // Entry lifecycle
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<ActivePool::Entry> ActivePool::acquire(Subproblem item) {
-  std::unique_ptr<Entry> e;
+ActivePool::Entry* ActivePool::acquire(Subproblem item) {
+  Entry* e = nullptr;
   if (!free_.empty()) {
-    e = std::move(free_.back());
+    e = free_.back();
     free_.pop_back();
+    // Hide the cold-entry miss of the NEXT acquire behind this push's work —
+    // bulk refills are memory-bound on exactly this line.
+    if (!free_.empty()) __builtin_prefetch(free_.back());
+  } else {
+    arena_.push_back(std::make_unique<Entry>());
+    e = arena_.back().get();
+    e->arena_pos = static_cast<std::uint32_t>(arena_.size() - 1);
+  }
+  if (e->item.code.is_root()) {
+    // Fresh entry, or recycled after its payload was moved out (pop): the
+    // destination holds no buffer, so stealing the donor's is free.
     e->item = std::move(item);
   } else {
-    e = std::make_unique<Entry>();
-    e->item = std::move(item);
+    // Recycled with a stale payload (clear()): copy-assign reuses the held
+    // buffer's capacity and lets the donor free its just-allocated one — a
+    // hot, allocator-top free instead of a cold free into a random bin,
+    // which keeps a refill loop's allocation stream on the fast path.
+    e->item = item;
   }
   e->seq = ++next_seq_;
   return e;
 }
 
-void ActivePool::release(std::unique_ptr<Entry> e) {
-  // Entries arrive here with their item moved out (pop / remove_batch), so
-  // recycling retains no payload. Cap the list so a drained peak-sized pool
-  // does not pin its high-water allocation count forever.
+void ActivePool::destroy_entry(Entry* e) {
+  // Swap-remove from the arena, which owns it.
+  const std::uint32_t pos = e->arena_pos;
+  if (pos + 1 != arena_.size()) {
+    arena_[pos] = std::move(arena_.back());
+    arena_[pos]->arena_pos = pos;
+  }
+  arena_.pop_back();
+}
+
+void ActivePool::release(Entry* e) {
+  // Cap the recycle list so a drained peak-sized pool does not pin its
+  // high-water allocation count forever; past the cap the entry is
+  // destroyed.
   if (free_.size() < std::max<std::size_t>(1024, heap_.size())) {
-    free_.push_back(std::move(e));
+    free_.push_back(e);
+  } else {
+    destroy_entry(e);
   }
 }
 
@@ -119,11 +145,12 @@ void ActivePool::index_erase(Entry* e) {
 }
 
 void ActivePool::build_indexes() {
-  for (const std::unique_ptr<Entry>& e : heap_) {
-    e->in_index = true;
-    index_insert(e.get());
-  }
+  // Register everything in the nursery rather than the trees: crossing the
+  // size threshold mid-bulk-load must not charge the load for tree inserts
+  // it may never benefit from. The first query-heavy phase drains it.
   indexed_ = true;
+  nursery_.reserve(heap_.size());
+  for (const HeapSlot& s : heap_) nursery_add(s.e);
 }
 
 void ActivePool::drop_indexes() {
@@ -131,6 +158,7 @@ void ActivePool::drop_indexes() {
   share_index_.clear();
   code_index_.clear();
   nursery_.clear();
+  bulky_scans_ = 0;
   indexed_ = false;
 }
 
@@ -147,10 +175,11 @@ std::size_t ActivePool::nursery_cap() const {
 }
 
 void ActivePool::nursery_add(Entry* e) {
+  // Never flushes: pushes stay O(1) on the index side no matter how many
+  // arrive, and only a query (maybe_flush_nursery) pays the promotion.
   e->in_index = false;
   e->nursery_pos = static_cast<std::uint32_t>(nursery_.size());
   nursery_.push_back(e);
-  if (nursery_.size() > nursery_cap()) flush_nursery();
 }
 
 void ActivePool::nursery_remove(Entry* e) {
@@ -166,6 +195,12 @@ void ActivePool::flush_nursery() {
     index_insert(e);
   }
   nursery_.clear();
+  bulky_scans_ = 0;
+}
+
+void ActivePool::maybe_flush_nursery() {
+  if (nursery_.size() <= nursery_cap()) return;
+  if (++bulky_scans_ >= kNurseryFlushScans) flush_nursery();
 }
 
 void ActivePool::untrack(Entry* e) {
@@ -181,11 +216,11 @@ void ActivePool::untrack(Entry* e) {
 // ---------------------------------------------------------------------------
 
 void ActivePool::push(Subproblem p) {
-  std::unique_ptr<Entry> e = acquire(std::move(p));
-  Entry* raw = e.get();
-  raw->slot = heap_.size();
-  heap_.push_back(std::move(e));
-  sift_up(raw->slot);
+  Entry* raw = acquire(std::move(p));
+  heap_.push_back(HeapSlot{raw->item.bound,
+                           static_cast<std::uint32_t>(raw->item.code.depth()),
+                           raw});
+  sift_up(heap_.size() - 1);
   if (indexed_) {
     nursery_add(raw);
   } else {
@@ -195,17 +230,16 @@ void ActivePool::push(Subproblem p) {
 
 Subproblem ActivePool::pop() {
   FTBB_CHECK_MSG(!heap_.empty(), "pop from empty pool");
-  std::unique_ptr<Entry> top = std::move(heap_.front());
-  if (indexed_) untrack(top.get());
+  Entry* top = heap_.front().e;
+  if (indexed_) untrack(top);
   if (heap_.size() > 1) {
-    heap_.front() = std::move(heap_.back());
-    heap_.front()->slot = 0;
+    heap_.front() = heap_.back();
   }
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
   if (indexed_) adapt_indexing();
   Subproblem out = std::move(top->item);
-  release(std::move(top));
+  release(top);
   return out;
 }
 
@@ -213,13 +247,14 @@ double ActivePool::best_bound() const {
   if (heap_.empty()) return kInfinity;
   double best = kInfinity;
   if (indexed_) {
+    // Drain bookkeeping is observationally pure (it moves entries between
+    // side structures, never changes the answer), so a const query may do it.
+    const_cast<ActivePool*>(this)->maybe_flush_nursery();
     if (!bound_index_.empty()) best = (*bound_index_.begin())->item.bound;
     for (const Entry* e : nursery_) best = std::min(best, e->item.bound);
     return best;
   }
-  for (const std::unique_ptr<Entry>& e : heap_) {
-    best = std::min(best, e->item.bound);
-  }
+  for (const HeapSlot& s : heap_) best = std::min(best, s.bound);
   return best;
 }
 
@@ -230,6 +265,7 @@ double ActivePool::best_bound() const {
 std::vector<Subproblem> ActivePool::prune_above(double threshold) {
   std::vector<Entry*> victims;
   if (indexed_) {
+    maybe_flush_nursery();
     for (auto it = bound_index_.lower_bound(threshold);
          it != bound_index_.end(); ++it) {
       victims.push_back(*it);
@@ -238,8 +274,8 @@ std::vector<Subproblem> ActivePool::prune_above(double threshold) {
       if (e->item.bound >= threshold) victims.push_back(e);
     }
   } else {
-    for (const std::unique_ptr<Entry>& e : heap_) {
-      if (e->item.bound >= threshold) victims.push_back(e.get());
+    for (const HeapSlot& s : heap_) {
+      if (s.bound >= threshold) victims.push_back(s.e);
     }
   }
   return remove_batch(victims);
@@ -249,6 +285,7 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
     std::span<const PathCode> regions) {
   std::vector<Entry*> victims;
   if (indexed_) {
+    maybe_flush_nursery();
     for (const PathCode& region : regions) {
       for (auto it = code_index_.lower_bound(region);
            it != code_index_.end() && region.contains((*it)->item.code); ++it) {
@@ -269,10 +306,10 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
     std::sort(victims.begin(), victims.end());
     victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   } else {
-    for (const std::unique_ptr<Entry>& e : heap_) {
+    for (const HeapSlot& s : heap_) {
       for (const PathCode& region : regions) {
-        if (region.contains(e->item.code)) {
-          victims.push_back(e.get());
+        if (region.contains(s.e->item.code)) {
+          victims.push_back(s.e);
           break;
         }
       }
@@ -284,8 +321,8 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
 std::vector<Subproblem> ActivePool::remove_if(
     const std::function<bool(const Subproblem&)>& victim) {
   std::vector<Entry*> victims;
-  for (const std::unique_ptr<Entry>& e : heap_) {
-    if (victim(e->item)) victims.push_back(e.get());
+  for (const HeapSlot& s : heap_) {
+    if (victim(s.e->item)) victims.push_back(s.e);
   }
   return remove_batch(victims);
 }
@@ -296,6 +333,7 @@ std::vector<Subproblem> ActivePool::extract_for_sharing(std::size_t k) {
   std::vector<Entry*> victims;
   ShareLess less;
   if (indexed_) {
+    maybe_flush_nursery();
     // The k winners are among the nursery and the tree's first k; select
     // from that union.
     victims.reserve(k + nursery_.size());
@@ -306,7 +344,7 @@ std::vector<Subproblem> ActivePool::extract_for_sharing(std::size_t k) {
     victims.insert(victims.end(), nursery_.begin(), nursery_.end());
   } else {
     victims.reserve(heap_.size());
-    for (const std::unique_ptr<Entry>& e : heap_) victims.push_back(e.get());
+    for (const HeapSlot& s : heap_) victims.push_back(s.e);
   }
   if (victims.size() > k) {
     std::nth_element(victims.begin(), victims.begin() + (k - 1), victims.end(),
@@ -318,6 +356,12 @@ std::vector<Subproblem> ActivePool::extract_for_sharing(std::size_t k) {
 
 std::vector<Subproblem> ActivePool::remove_batch(std::vector<Entry*>& victims) {
   if (victims.empty()) return {};
+  // Slot back-pointers are maintained lazily: sift swaps never store them
+  // (that would touch a scattered cache line per swap in the push hot path),
+  // and this — the only consumer — refreshes them in one contiguous pass.
+  // The compaction below is O(heap) anyway, so the complexity is unchanged,
+  // and a no-victim call has already returned above.
+  for (std::size_t i = 0; i < heap_.size(); ++i) heap_[i].e->slot = i;
   // Heap-array order is the order the historical flat heap reported (and the
   // worker's completion pipeline observably depends on it).
   std::sort(victims.begin(), victims.end(),
@@ -326,17 +370,16 @@ std::vector<Subproblem> ActivePool::remove_batch(std::vector<Entry*>& victims) {
   out.reserve(victims.size());
   for (Entry* v : victims) {
     if (indexed_) untrack(v);
-    std::unique_ptr<Entry> owned = std::move(heap_[v->slot]);  // leaves a hole
-    out.push_back(std::move(owned->item));
-    release(std::move(owned));
+    heap_[v->slot].e = nullptr;  // leaves a hole
+    out.push_back(std::move(v->item));
+    release(v);
   }
   // In-place compaction: survivors shift left over the holes in array order,
   // then re-heapify — exactly the historical layout transition.
   std::size_t write = 0;
   for (std::size_t read = 0; read < heap_.size(); ++read) {
-    if (heap_[read] == nullptr) continue;
-    if (write != read) heap_[write] = std::move(heap_[read]);
-    heap_[write]->slot = write;
+    if (heap_[read].e == nullptr) continue;
+    if (write != read) heap_[write] = heap_[read];
     ++write;
   }
   heap_.resize(write);
@@ -348,7 +391,7 @@ std::vector<Subproblem> ActivePool::remove_batch(std::vector<Entry*>& victims) {
 std::vector<Subproblem> ActivePool::snapshot() const {
   std::vector<const Entry*> order;
   order.reserve(heap_.size());
-  for (const std::unique_ptr<Entry>& e : heap_) order.push_back(e.get());
+  for (const HeapSlot& s : heap_) order.push_back(s.e);
   std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
     if (a->item.code != b->item.code) return a->item.code < b->item.code;
     return a->seq < b->seq;
@@ -360,7 +403,22 @@ std::vector<Subproblem> ActivePool::snapshot() const {
 }
 
 void ActivePool::clear() {
-  // Cleared entries still own their payloads; destroy rather than recycle.
+  // Recycle the entry allocations; the stale payloads they keep holding are
+  // reused as buffer capacity by acquire() (see there). The cap is taken
+  // before the heap empties — releasing against the shrinking size would
+  // destroy almost everything.
+  const std::size_t cap = std::max<std::size_t>(1024, heap_.size());
+  // Recycle back-to-front: the LIFO free list then hands entries back in
+  // forward heap-array (≈ allocation) order, a stream the hardware
+  // prefetcher can follow during the next bulk load.
+  for (std::size_t i = heap_.size(); i-- > 0;) {
+    Entry* e = heap_[i].e;
+    if (free_.size() < cap) {
+      free_.push_back(e);
+    } else {
+      destroy_entry(e);
+    }
+  }
   heap_.clear();
   drop_indexes();
 }
@@ -370,16 +428,34 @@ void ActivePool::clear() {
 // historical Subproblem heap, so the array layout stays bit-identical.
 // ---------------------------------------------------------------------------
 
+bool ActivePool::slot_ranks_before(const HeapSlot& a, const HeapSlot& b) const {
+  switch (rule_) {
+    case SelectRule::kBestFirst:
+      if (a.bound != b.bound) return a.bound < b.bound;
+      if (a.depth != b.depth) return a.depth > b.depth;
+      break;
+    case SelectRule::kDepthFirst:
+      if (a.depth != b.depth) return a.depth > b.depth;
+      if (a.bound != b.bound) return a.bound < b.bound;
+      break;
+    case SelectRule::kBreadthFirst:
+      if (a.depth != b.depth) return a.depth < b.depth;
+      if (a.bound != b.bound) return a.bound < b.bound;
+      break;
+  }
+  return a.e->item.code < b.e->item.code;
+}
+
 void ActivePool::swap_slots(std::size_t i, std::size_t j) {
+  // Deliberately does NOT update the entries' slot back-pointers — see
+  // remove_batch, which refreshes them lazily before their only use.
   std::swap(heap_[i], heap_[j]);
-  heap_[i]->slot = i;
-  heap_[j]->slot = j;
 }
 
 void ActivePool::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;
-    if (!ranks_before(heap_[i]->item, heap_[parent]->item)) break;
+    if (!slot_ranks_before(heap_[i], heap_[parent])) break;
     swap_slots(i, parent);
     i = parent;
   }
@@ -391,8 +467,8 @@ void ActivePool::sift_down(std::size_t i) {
     std::size_t best = i;
     const std::size_t l = 2 * i + 1;
     const std::size_t r = 2 * i + 2;
-    if (l < n && ranks_before(heap_[l]->item, heap_[best]->item)) best = l;
-    if (r < n && ranks_before(heap_[r]->item, heap_[best]->item)) best = r;
+    if (l < n && slot_ranks_before(heap_[l], heap_[best])) best = l;
+    if (r < n && slot_ranks_before(heap_[r], heap_[best])) best = r;
     if (best == i) return;
     swap_slots(i, best);
     i = best;
@@ -420,13 +496,19 @@ void ActivePool::check_invariants() const {
   }
   double min_bound = kInfinity;
   for (std::size_t i = 0; i < heap_.size(); ++i) {
-    const Entry* e = heap_[i].get();
+    const Entry* e = heap_[i].e;
     FTBB_CHECK(e != nullptr);
-    FTBB_CHECK(e->slot == i);
+    FTBB_CHECK(arena_[e->arena_pos].get() == e);
+    // The cached slot key must mirror the item (sift correctness hinges on
+    // it), and the cached-key comparator must agree with the item one.
+    FTBB_CHECK(heap_[i].bound == e->item.bound);
+    FTBB_CHECK(heap_[i].depth == e->item.code.depth());
     if (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      FTBB_CHECK_MSG(!ranks_before(e->item, heap_[parent]->item),
+      FTBB_CHECK_MSG(!slot_ranks_before(heap_[i], heap_[parent]),
                      "heap property violated");
+      FTBB_CHECK(slot_ranks_before(heap_[i], heap_[parent]) ==
+                 ranks_before(e->item, heap_[parent].e->item));
     }
     if (indexed_ && e->in_index) {
       FTBB_CHECK(bound_index_.count(const_cast<Entry*>(e)) == 1);

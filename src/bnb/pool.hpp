@@ -15,9 +15,12 @@
 //     range scan per covering code instead of a per-report full sweep that
 //     walks the completion trie once per pool entry.
 //
-// Observational identity: the heap stores stable Entry allocations and swaps
-// pointers with exactly the seed implementation's sift logic, so the array
-// layout evolves bit-identically to the historical flat heap. Pop order is
+// Observational identity: the heap is a contiguous array of (bound, depth,
+// entry*) slots — the selection key cached inline so sift comparisons stay
+// cache-local like the seed's value heap, with the stable Entry allocation
+// dereferenced only to break exact ties by path code. Every comparison
+// reaches the same verdict as the seed implementation's, so the array layout
+// evolves bit-identically to the historical flat heap. Pop order is
 // the rule's total order either way; removal-flavored operations report their
 // victims in heap-array order, which the worker's completion pipeline
 // (report batching, contraction charges, last-local-completion tracking)
@@ -31,12 +34,18 @@
 // the threshold and dropped (with hysteresis) when it shrinks back. Results
 // are identical in both modes; only the complexity changes.
 //
-// Nursery (LSM-style write buffer): while indexed, fresh pushes land in a
-// small unordered nursery instead of the trees; queries scan it linearly on
-// top of their index walk, and it is promoted into the trees in bulk when it
-// fills. Subproblems churn — a child pushed now is often popped or
+// Nursery (LSM-style write buffer): while indexed, fresh pushes land in an
+// unordered nursery instead of the trees; queries scan it linearly on top of
+// their index walk. Promotion into the trees is *lazy*: a push never flushes,
+// and a query tolerates one oversized nursery scan before draining it — only
+// the second consecutive bulky scan pays the bulk tree insert. A bulk load
+// (push 100k, query once) therefore stays a flat heap plus one linear scan,
+// while any query-heavy phase converges to warm O(log n) indexes after two
+// calls. Subproblems churn — a child pushed now is often popped or
 // eliminated by the very next incumbent improvement — and entries that die
-// young this way never pay tree maintenance at all.
+// young this way never pay tree maintenance at all. Drain timing is
+// observationally pure: it moves entries between side structures without
+// touching the heap array, pop order, or victim order.
 #pragma once
 
 #include <cstddef>
@@ -127,9 +136,20 @@ class ActivePool {
   struct Entry {
     Subproblem item;
     std::uint64_t seq = 0;    // insertion order; totalizes every index order
-    std::size_t slot = 0;     // current position in the heap array
+    std::size_t slot = 0;     // heap position, refreshed lazily by remove_batch
+    std::uint32_t arena_pos = 0;    // position in arena_ (ownership store)
     bool in_index = false;    // indexed mode: trees vs nursery residency
     std::uint32_t nursery_pos = 0;  // position in nursery_ when !in_index
+  };
+
+  /// One heap-array element: the selection key cached inline (sift
+  /// comparisons read contiguous memory; only exact bound+depth ties deref
+  /// the entry for the path-code tiebreak) plus the entry it stands for.
+  /// `e == nullptr` marks a hole during remove_batch compaction.
+  struct HeapSlot {
+    double bound = 0.0;
+    std::uint32_t depth = 0;
+    Entry* e = nullptr;
   };
 
   struct BoundLess {
@@ -152,8 +172,15 @@ class ActivePool {
   /// pool is a plain heap with linear fallbacks.
   static constexpr std::size_t kIndexBuildThreshold = 512;
   static constexpr std::size_t kIndexDropThreshold = 256;  // hysteresis
+  /// Consecutive over-cap nursery scans a query tolerates before draining
+  /// the nursery into the trees. 2 keeps a bulk-load-then-query-once
+  /// workload linear while a query-heavy phase warms the indexes fast.
+  static constexpr std::uint32_t kNurseryFlushScans = 2;
 
   [[nodiscard]] bool ranks_before(const Subproblem& a, const Subproblem& b) const;
+  /// Same verdicts as ranks_before on the corresponding items, but reads the
+  /// cached keys and only dereferences entries on exact (bound, depth) ties.
+  [[nodiscard]] bool slot_ranks_before(const HeapSlot& a, const HeapSlot& b) const;
   void swap_slots(std::size_t i, std::size_t j);
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
@@ -170,6 +197,9 @@ class ActivePool {
   void nursery_add(Entry* e);
   void nursery_remove(Entry* e);
   void flush_nursery();
+  /// Called by every nursery-scanning query: counts over-cap scans and
+  /// drains the nursery on the kNurseryFlushScans-th consecutive one.
+  void maybe_flush_nursery();
   /// Removes `e` from whichever side structure (tree or nursery) holds it.
   void untrack(Entry* e);
 
@@ -179,17 +209,20 @@ class ActivePool {
   /// repeated pointer would be moved from twice); any order is fine.
   std::vector<Subproblem> remove_batch(std::vector<Entry*>& victims);
 
-  std::unique_ptr<Entry> acquire(Subproblem item);
-  void release(std::unique_ptr<Entry> e);
+  Entry* acquire(Subproblem item);
+  void release(Entry* e);
+  void destroy_entry(Entry* e);
 
   SelectRule rule_;
-  std::vector<std::unique_ptr<Entry>> heap_;  // heap_[0] = next pop
+  std::vector<HeapSlot> heap_;  // heap_[0] = next pop
   bool indexed_ = false;
   std::set<Entry*, BoundLess> bound_index_;
   std::set<Entry*, ShareLess> share_index_;
   std::set<Entry*, CodeLess> code_index_;
   std::vector<Entry*> nursery_;  // indexed mode: fresh, not-yet-promoted entries
-  std::vector<std::unique_ptr<Entry>> free_;  // entry recycling, caps churn
+  std::uint32_t bulky_scans_ = 0;  // consecutive over-cap nursery scans
+  std::vector<std::unique_ptr<Entry>> arena_;  // owns every live + free entry
+  std::vector<Entry*> free_;  // entry recycling, caps churn
   std::uint64_t next_seq_ = 0;
 };
 

@@ -366,10 +366,10 @@ CentralResult CentralSim::run_with_faults(
   FTBB_CHECK_MSG(faults.worker_join_times.empty() ||
                      faults.worker_join_times.size() == worker_count,
                  "worker_join_times must be empty or one entry per worker");
-  sim::ExecutorConfig ex;
-  ex.threads = sim::resolve_sim_threads(config.sim_threads);
-  ex.nodes = worker_count + 1;  // node 0 is the manager
-  ex.lookahead = sim::Network::min_latency(net);
+  // Network node 0 is the manager; the topology's coordinates apply to the
+  // shifted ids (workers start at rack coordinate of node 1).
+  const sim::ExecutorConfig ex = sim::make_executor_config(
+      net, worker_count + 1, sim::resolve_sim_threads(config.sim_threads));
   Sim sim(model, config, time_limit, ex);
   support::Rng master(seed);
   sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x63656e74),

@@ -376,10 +376,8 @@ DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
                  "join_times must be empty or one entry per machine");
   FTBB_CHECK_MSG(faults.join_times.empty() || faults.join_times[0] == 0.0,
                  "machine 0 holds the root job and must join at time 0");
-  sim::ExecutorConfig ex;
-  ex.threads = sim::resolve_sim_threads(config.sim_threads);
-  ex.nodes = machines;
-  ex.lookahead = sim::Network::min_latency(net);
+  const sim::ExecutorConfig ex = sim::make_executor_config(
+      net, machines, sim::resolve_sim_threads(config.sim_threads));
   Sim sim(model, config, time_limit, ex);
   support::Rng master(seed);
   sim.net = std::make_unique<sim::Network>(&sim.kernel, net, master.split(0x646962),

@@ -656,11 +656,14 @@ void RtCluster::transport_send(std::uint32_t from, core::NodeId to,
       net_lost_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    latency = net_.latency_fixed +
-              net_.latency_per_byte * static_cast<double>(bytes);
-    if (net_.jitter_frac > 0.0) {
-      latency *= channel.rng.uniform(1.0 - net_.jitter_frac,
-                                     1.0 + net_.jitter_frac);
+    // Same per-pair latency-class selection as the simulated Network, in
+    // wall time (flat configs reduce to the top-level parameters).
+    const sim::TierLatency link = sim::link_latency(net_, from, to);
+    latency = link.latency_fixed +
+              link.latency_per_byte * static_cast<double>(bytes);
+    if (link.jitter_frac > 0.0) {
+      latency *= channel.rng.uniform(1.0 - link.jitter_frac,
+                                     1.0 + link.jitter_frac);
     }
   }
   // Capture the destination incarnation at send time: mail addressed to an

@@ -200,12 +200,26 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   [[nodiscard]] const std::vector<core::NodeId>& peers() const override {
     // Peer set = members that have joined so far, minus self. Rebuilt only
     // when the membership version changes; crashed members stay listed
-    // (their failure is not detectable, Section 4).
+    // (their failure is not detectable, Section 4). With peer_view_limit
+    // set, the view shrinks to the members that follow this worker in join
+    // order — a ring neighborhood, so the union of all views stays
+    // connected and per-worker memory stays O(limit) instead of O(n).
     if (peers_version_ != cluster_->membership_version_) {
       peers_version_ = cluster_->membership_version_;
       peers_cache_.clear();
-      for (const core::NodeId id : cluster_->joined_) {
-        if (id != id_) peers_cache_.push_back(id);
+      const std::vector<core::NodeId>& joined = cluster_->joined_;
+      const std::uint32_t limit = cluster_->config_.peer_view_limit;
+      if (limit > 0 && joined.size() > static_cast<std::size_t>(limit) + 1) {
+        const std::size_t pos = cluster_->join_pos_[id_];
+        peers_cache_.reserve(limit);
+        for (std::uint32_t k = 1; k <= limit; ++k) {
+          const core::NodeId id = joined[(pos + k) % joined.size()];
+          if (id != id_) peers_cache_.push_back(id);
+        }
+      } else {
+        for (const core::NodeId id : joined) {
+          if (id != id_) peers_cache_.push_back(id);
+        }
       }
     }
     return peers_cache_;
@@ -350,15 +364,14 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
 namespace {
 
 /// Kernel policy for a cluster config: shard per-worker event streams when
-/// asked to, with the network's minimum link latency as the conservative
-/// lookahead (make_executor falls back to sequential dispatch when the
-/// lookahead is zero — results are identical either way).
+/// asked to, with the network's latency floors as conservative lookahead
+/// (global, plus per-channel when the topology is hierarchical; see
+/// make_executor_config). make_executor falls back to sequential dispatch
+/// when the lookahead is zero — results are identical either way.
 ExecutorConfig executor_config(const ClusterConfig& config) {
-  ExecutorConfig ex;
-  ex.threads = resolve_sim_threads(config.sim_threads);
-  ex.nodes = config.workers;
-  ex.lookahead = Network::min_latency(config.net);
-  return ex;
+  return make_executor_config(config.net, config.workers,
+                              resolve_sim_threads(config.sim_threads),
+                              config.per_channel_lookahead);
 }
 
 }  // namespace
@@ -382,6 +395,7 @@ SimCluster::SimCluster(const bnb::IProblemModel& model, const ClusterConfig& con
   for (core::NodeId id = 0; id < config_.workers; ++id) {
     hosts_.push_back(std::make_unique<WorkerHost>(this, id, master.split(id).next()));
   }
+  join_pos_.assign(config_.workers, 0);
   live_count_ = config_.workers;
 
   // The cluster's fault surface is driven like any other backend's: the
@@ -410,6 +424,7 @@ bool SimCluster::finished() const {
 void SimCluster::join(core::NodeId id) {
   WorkerHost* host = hosts_[id].get();
   if (!host->alive()) return;  // crashed before joining; already uncounted
+  join_pos_[id] = static_cast<std::uint32_t>(joined_.size());
   joined_.push_back(id);
   ++membership_version_;
   host->start(id == config_.root_holder);

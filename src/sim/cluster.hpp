@@ -63,6 +63,18 @@ struct ClusterConfig {
   /// OS threads with conservative lookahead (results are bit-identical to
   /// the sequential kernel); 0 consults FTBB_SIM_THREADS, else sequential.
   std::uint32_t sim_threads = 0;
+  /// With a hierarchical net.topology, derive per-channel lookahead and
+  /// topology-aligned shard affinity (wider parallel windows across slow
+  /// tiers). Off forces the classic single global-barrier lookahead —
+  /// results are bit-identical either way; benchmarks use the toggle to
+  /// measure what the refinement buys.
+  bool per_channel_lookahead = true;
+  /// Bounded peer view: 0 (default) exposes the full membership minus self
+  /// to every worker — the historical behavior, and O(n^2) memory across n
+  /// workers. > 0 exposes only the `peer_view_limit` members that follow a
+  /// worker in join order (a ring neighborhood, so gossip still reaches
+  /// everyone), which is what makes 10^5+ simulated workers practical.
+  std::uint32_t peer_view_limit = 0;
   double time_limit = 1e9;               // virtual seconds
   std::uint64_t event_limit = 200'000'000ULL;
   std::vector<CrashEvent> crashes;
@@ -219,6 +231,7 @@ class SimCluster {
   std::vector<std::unique_ptr<WorkerHost>> hosts_;
   std::vector<core::NodeId> joined_;   // members that have joined so far;
                                        // mutated only by control events
+  std::vector<std::uint32_t> join_pos_;  // node id -> index in joined_
   std::uint64_t membership_version_ = 0;
 
   // Cross-worker accounting. Expansion bookkeeping is per-host (merged

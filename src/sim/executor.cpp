@@ -137,6 +137,73 @@ class ShardedExecutor final : public EventExecutor {
     for (std::uint32_t i = 0; i < shard_count_; ++i) {
       shards_.push_back(std::make_unique<Shard>());
     }
+    // Node -> shard map: configured affinity keys, else round-robin.
+    shard_of_.resize(nodes_);
+    for (std::uint32_t n = 0; n < nodes_; ++n) {
+      const std::uint32_t key = config.shard_of.size() == nodes_
+                                    ? config.shard_of[n]
+                                    : n;
+      shard_of_[n] = key % shard_count_;
+    }
+    // Shard-pair lookahead: the guaranteed minimum latency of any cross-node
+    // event from a node of shard a to a node of shard b — the min of the
+    // channel matrix over the groups each shard actually hosts, or the
+    // single global lookahead without a channel model. A shard that hosts no
+    // nodes never sends, so its rows stay at infinity harmlessly.
+    const std::size_t cells = static_cast<std::size_t>(shard_count_) * shard_count_;
+    if (config.channels.enabled(nodes_)) {
+      const ChannelLookahead& ch = config.channels;
+      std::vector<std::vector<bool>> hosts(
+          shard_count_, std::vector<bool>(ch.groups, false));
+      for (std::uint32_t n = 0; n < nodes_; ++n) {
+        FTBB_CHECK(ch.group_of[n] < ch.groups);
+        hosts[shard_of_[n]][ch.group_of[n]] = true;
+      }
+      pair_lookahead_.assign(cells, std::numeric_limits<double>::infinity());
+      for (std::uint32_t a = 0; a < shard_count_; ++a) {
+        for (std::uint32_t b = 0; b < shard_count_; ++b) {
+          double floor = std::numeric_limits<double>::infinity();
+          for (std::uint32_t ga = 0; ga < ch.groups; ++ga) {
+            if (!hosts[a][ga]) continue;
+            for (std::uint32_t gb = 0; gb < ch.groups; ++gb) {
+              if (!hosts[b][gb]) continue;
+              floor = std::min(
+                  floor, ch.min_latency[static_cast<std::size_t>(ga) * ch.groups + gb]);
+            }
+          }
+          // The channel model must refine the global floor, never undercut
+          // it — a malformed matrix would otherwise shrink the safety check.
+          pair_lookahead_[static_cast<std::size_t>(a) * shard_count_ + b] =
+              std::max(floor, lookahead_);
+        }
+      }
+    } else {
+      pair_lookahead_.assign(cells, lookahead_);
+    }
+    // Transitive closure of the pair matrix (Floyd–Warshall): the cheapest
+    // *chain* of cross-shard hops from a to b, which is what bounds how soon
+    // a's queued work can influence b — a direct message is one hop, but a
+    // can also wake an idle shard that then messages b. The diagonal starts
+    // at infinity (a shard's own heap is serialized by stamp order and needs
+    // no latency bound) and relaxes to the cheapest round trip through other
+    // shards; that positive self-cycle is what keeps a shard from outrunning
+    // replies to messages it has not yet provoked. Window computation uses
+    // this closure; the schedule() safety check keeps the direct matrix.
+    pair_closure_ = pair_lookahead_;
+    for (std::uint32_t s = 0; s < shard_count_; ++s) {
+      pair_closure_[static_cast<std::size_t>(s) * shard_count_ + s] =
+          std::numeric_limits<double>::infinity();
+    }
+    for (std::uint32_t k = 0; k < shard_count_; ++k) {
+      for (std::uint32_t a = 0; a < shard_count_; ++a) {
+        const double ak = pair_closure_[static_cast<std::size_t>(a) * shard_count_ + k];
+        if (ak == std::numeric_limits<double>::infinity()) continue;
+        for (std::uint32_t b = 0; b < shard_count_; ++b) {
+          double& ab = pair_closure_[static_cast<std::size_t>(a) * shard_count_ + b];
+          ab = std::min(ab, ak + pair_closure_[static_cast<std::size_t>(k) * shard_count_ + b]);
+        }
+      }
+    }
   }
 
   void schedule(double t, OwnerId owner, Callback fn) override {
@@ -155,15 +222,20 @@ class ShardedExecutor final : public EventExecutor {
       heap_push(control_, std::move(ev));
       return;
     }
-    Shard& dest = *shards_[static_cast<std::uint32_t>(owner) % shard_count_];
-    if (on_shard_thread &&
-        tls_ctx.shard != static_cast<std::uint32_t>(owner) % shard_count_) {
+    const std::uint32_t dest_shard = shard_of_[static_cast<std::uint32_t>(owner)];
+    Shard& dest = *shards_[dest_shard];
+    if (on_shard_thread && tls_ctx.shard != dest_shard) {
       // Cross-shard: lands in the mailbox, merged at the next barrier. That
-      // is only sound when t lies beyond any window that could be in flight;
-      // abort loudly instead of silently diverging from the sequential order
-      // if a caller ever schedules cross-node closer than the lookahead.
-      FTBB_CHECK_MSG(t >= tls_ctx.now + lookahead_,
-                     "ShardedExecutor: cross-shard event closer than the lookahead");
+      // is only sound when t lies beyond any window that could be in flight:
+      // the destination's window end is at most our shard's barrier head
+      // plus the pair lookahead, and our current event time is >= that head,
+      // so t >= now + pair lookahead clears it. Abort loudly instead of
+      // silently diverging from the sequential order if a caller ever
+      // schedules cross-shard closer than the channel's floor.
+      FTBB_CHECK_MSG(
+          t >= tls_ctx.now + pair_lookahead_[static_cast<std::size_t>(tls_ctx.shard) *
+                                                 shard_count_ + dest_shard],
+          "ShardedExecutor: cross-shard event closer than the lookahead");
       const std::lock_guard<std::mutex> lock(dest.mail_mu);
       dest.mailbox.push_back(std::move(ev));
     } else {
@@ -195,13 +267,15 @@ class ShardedExecutor final : public EventExecutor {
     }
 
     std::uint64_t control_events = 0;
+    std::vector<double> heads(shard_count_);
     for (;;) {
       drain_mailboxes();
       double next_shard = std::numeric_limits<double>::infinity();
-      for (const auto& shard : shards_) {
-        if (!shard->heap.empty()) {
-          next_shard = std::min(next_shard, shard->heap.front().t);
-        }
+      for (std::uint32_t s = 0; s < shard_count_; ++s) {
+        const auto& heap = shards_[s]->heap;
+        heads[s] = heap.empty() ? std::numeric_limits<double>::infinity()
+                                : heap.front().t;
+        next_shard = std::min(next_shard, heads[s]);
       }
       const double next_control =
           control_.empty() ? std::numeric_limits<double>::infinity()
@@ -261,14 +335,40 @@ class ShardedExecutor final : public EventExecutor {
         ran_control = true;
       }
       if (ran_control) continue;
-      // Parallel window [next_t, W): every cross-shard effect of an event in
-      // the window lands at >= next_t + lookahead >= W, and no control event
-      // precedes W, so shards cannot observe each other mid-window.
-      const double window_end = std::min(next_t + lookahead_, next_control);
+      // Parallel windows, one end per shard:
+      //
+      //     w_s = min( next_control,
+      //                min over all shards o of head(o) + closure(o -> s) ),
+      //
+      // where closure is the transitive closure of the pair-lookahead matrix
+      // (cheapest chain of cross-shard hops, diagonal = cheapest round trip).
+      // Any influence that could still reach shard s starts from some
+      // shard's currently queued event (time >= head(o)) and pays at least
+      // the shortest hop-chain cost to arrive, so it lands at >= w_s; s's own
+      // queued events are already stamp-ordered in its heap and need no
+      // latency bound, which is why o == s contributes the round-trip cycle,
+      // not zero. No control event precedes w_s either, so shard s cannot
+      // observe anyone mid-window. With one latency class and both shards
+      // busy every w_s collapses to the classic next_t + lookahead barrier;
+      // with per-channel lookahead (or idle neighbors) a shard bordered only
+      // by slow links runs far ahead. The shard holding next_t always gets
+      // w_s > next_t (all closure entries are positive), so every barrier
+      // makes progress. Windows can be much wider than one lookahead now, so
+      // each shard also stops after the events remaining under the event
+      // limit — a quota hit implies the next barrier reports hit_event_limit,
+      // and runs below the limit are never truncated.
+      for (std::uint32_t s = 0; s < shard_count_; ++s) {
+        double w = next_control;
+        for (std::uint32_t o = 0; o < shard_count_; ++o) {
+          w = std::min(w, heads[o] + pair_closure_[static_cast<std::size_t>(o) *
+                                                       shard_count_ + s]);
+        }
+        shards_[s]->window_end = w;
+      }
       {
         const std::lock_guard<std::mutex> lock(mu_);
-        window_end_ = window_end;
         window_time_limit_ = time_limit;
+        window_event_quota_ = event_limit - total;  // >= 1 here
         done_count_ = 0;
         ++generation_;
       }
@@ -316,6 +416,7 @@ class ShardedExecutor final : public EventExecutor {
     std::vector<Event> mailbox;    // cross-shard arrivals for later windows
     std::uint64_t events = 0;
     double last_time = 0.0;
+    double window_end = 0.0;       // written at barriers, read in-window
   };
 
   void drain_mailboxes() {
@@ -337,13 +438,16 @@ class ShardedExecutor final : public EventExecutor {
         if (stop_) break;
         seen_generation = generation_;
       }
-      while (!shard.heap.empty() && shard.heap.front().t < window_end_ &&
-             shard.heap.front().t <= window_time_limit_) {
+      std::uint64_t dispatched = 0;
+      while (!shard.heap.empty() && shard.heap.front().t < shard.window_end &&
+             shard.heap.front().t <= window_time_limit_ &&
+             dispatched < window_event_quota_) {
         Event ev = heap_pop(shard.heap);
         tls_ctx.now = ev.t;
         tls_ctx.owner = ev.owner;
         shard.last_time = ev.t;
         ++shard.events;
+        ++dispatched;
         ev.fn();
       }
       tls_ctx.owner = kControlOwner;
@@ -359,6 +463,9 @@ class ShardedExecutor final : public EventExecutor {
   const double lookahead_;
   const std::uint32_t nodes_;
   const std::uint32_t shard_count_;
+  std::vector<std::uint32_t> shard_of_;  // node -> shard
+  std::vector<double> pair_lookahead_;   // shard x shard, row-major [from][to]
+  std::vector<double> pair_closure_;     // transitive closure; diagonal = min cycle
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<Event> control_;
   std::vector<std::uint64_t> seq_;  // per scheduling context, index src + 1;
@@ -372,8 +479,8 @@ class ShardedExecutor final : public EventExecutor {
   std::uint64_t generation_ = 0;
   std::uint32_t done_count_ = 0;
   bool stop_ = false;
-  double window_end_ = 0.0;
   double window_time_limit_ = 0.0;
+  std::uint64_t window_event_quota_ = 0;  // per-shard in-window dispatch cap
 };
 
 }  // namespace

@@ -20,23 +20,41 @@
 // any sharded configuration.
 //
 // Sharding model (conservative lookahead, Chandy–Misra–Bryant style).
-// Events are owned by a node; node n executes on shard n % threads. Nodes
-// only influence each other through cross-node events scheduled at least
-// `lookahead` in the future (the minimum network link latency), so all
-// shards may safely run the window [T, T + lookahead) in parallel, where T
-// is the earliest pending event anywhere. Cross-shard schedules land in a
-// mailbox and are merged into the destination heap at the next epoch
-// barrier — before any event of their window can run — with the canonical
-// stamp order deciding ties. kControlOwner events (fault injection, storage
-// sampling, anything scheduled from outside the run loop) always execute at
-// a barrier, with every shard quiescent, so they may touch cross-node state
-// exactly like they did on the single-threaded kernel.
+// Events are owned by a node; node n executes on shard n % threads (or on
+// the shard its configured affinity key selects). Nodes only influence each
+// other through cross-node events scheduled at least the link's lookahead in
+// the future (the minimum network latency of that channel), so every shard
+// may safely run ahead to its own window end
+//
+//     w_s = min( next control event,
+//                min over all shards o of head(o) + closure(o -> s) )
+//
+// where head(o) is o's earliest pending event at the barrier and closure is
+// the transitive closure (all-pairs shortest hop-chain) of the pair
+// lookahead matrix, with the diagonal relaxed to the cheapest round trip
+// through other shards. Any influence that could still reach s starts from
+// some shard's queued event and pays at least the shortest chain of link
+// floors to arrive — including the case where a fast shard first *wakes* an
+// idle one whose reply would come back — so it lands at or after w_s, and
+// nothing dispatched inside a window can be observed by another shard
+// mid-window. With one latency class and all shards busy this degenerates
+// to the classic single window [T, T + lookahead); with a hierarchical
+// topology (ChannelLookahead below) shards separated by slow links run far
+// ahead of each other. Cross-shard
+// schedules land in a mailbox and are merged into the destination heap at
+// the next epoch barrier — before any event of their window can run — with
+// the canonical stamp order deciding ties. kControlOwner events (fault
+// injection, storage sampling, anything scheduled from outside the run
+// loop) always execute at a barrier, with every shard quiescent, so they
+// may touch cross-node state exactly like they did on the single-threaded
+// kernel.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
+#include <vector>
 
 namespace ftbb::sim {
 
@@ -48,6 +66,23 @@ using Callback = std::function<void()>;
 /// schedules were enqueued first and therefore won insertion-order ties.
 using OwnerId = std::int32_t;
 constexpr OwnerId kControlOwner = -1;
+
+/// Optional per-channel refinement of the global lookahead: nodes belong to
+/// latency groups (racks, in the hierarchical network model) and the matrix
+/// gives the guaranteed minimum latency of any cross-node event from a node
+/// of group a to a node of group b. Every entry must be >= the global
+/// `lookahead`; the sharded executor uses the matrix to widen per-shard
+/// windows, never to narrow the safety check below the per-pair floor.
+struct ChannelLookahead {
+  std::uint32_t groups = 0;
+  std::vector<std::uint32_t> group_of;  // group id per node; empty = one class
+  std::vector<double> min_latency;      // groups x groups, row-major [from][to]
+
+  [[nodiscard]] bool enabled(std::uint32_t nodes) const {
+    return groups > 1 && group_of.size() == nodes &&
+           min_latency.size() == static_cast<std::size_t>(groups) * groups;
+  }
+};
 
 struct ExecutorConfig {
   /// Dispatch threads. <= 1, or a non-positive lookahead, selects the
@@ -61,6 +96,14 @@ struct ExecutorConfig {
   /// Minimum virtual-time distance of any cross-node event (the minimum
   /// network link latency). Must be > 0 to shard.
   double lookahead = 0.0;
+  /// Optional per-channel lookahead (see above). Ignored when it does not
+  /// describe exactly `nodes` nodes.
+  ChannelLookahead channels;
+  /// Optional shard affinity key per node: node n executes on shard
+  /// shard_of[n] % shard_count (empty: n % shard_count). Lets callers
+  /// co-locate nodes that exchange low-latency traffic; any map yields
+  /// identical results, only dispatch parallelism differs.
+  std::vector<std::uint32_t> shard_of;
 };
 
 struct RunResult {

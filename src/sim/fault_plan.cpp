@@ -172,6 +172,122 @@ FaultPlan FaultPlan::asymmetric_partition(std::uint32_t minority,
   return plan;
 }
 
+FaultPlan FaultPlan::planetary_churn(std::uint32_t first, std::uint32_t arrivals,
+                                     double start, double base_period) {
+  FTBB_CHECK(arrivals > 0 && base_period > 0.0);
+  // Deterministic heavy-tailed gap sequence (Pareto flavor): the mean gap is
+  // 2.6 base periods but the mass sits in the rare 13x outlier, so arrival
+  // bursts alternate with long quiet stretches. Fixed, not drawn — the plan
+  // determinism contract keeps all randomness inside the seeded simulation.
+  static constexpr double kTailGaps[] = {1, 1, 2, 1, 1, 3, 1, 2, 1, 13};
+  constexpr std::size_t kCycle = sizeof(kTailGaps) / sizeof(kTailGaps[0]);
+  FaultPlan plan;
+  double t = start;
+  for (std::uint32_t i = 0; i < arrivals; ++i) {
+    plan.churn(first + i, 1, t, 0.0);
+    if (i % 3 == 2) {
+      // A transient donor: contributes two base periods of work, vanishes,
+      // and returns one period later as a fresh incarnation.
+      plan.bounce(first + i, t + 2.0 * base_period, t + 3.0 * base_period);
+    }
+    t += base_period * kTailGaps[i % kCycle];
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::rack_failures(std::uint32_t first_rack, std::uint32_t racks,
+                                   std::uint32_t nodes_per_rack, double start,
+                                   double stagger, double downtime) {
+  FTBB_CHECK(racks > 0 && nodes_per_rack > 0);
+  FTBB_CHECK(stagger >= 0.0 && downtime > 0.0);
+  FaultPlan plan;
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    const double down = start + stagger * r;
+    const std::uint32_t base = (first_rack + r) * nodes_per_rack;
+    // Every node of the rack at the same instant: one switch, one failure.
+    for (std::uint32_t n = 0; n < nodes_per_rack; ++n) {
+      plan.bounce(base + n, down, down + downtime);
+    }
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::cascading_partition(std::uint32_t nodes,
+                                         std::uint32_t nodes_per_rack,
+                                         std::uint32_t racks_per_campus,
+                                         double start, double width, double gap) {
+  FTBB_CHECK(nodes > 0 && nodes_per_rack > 0 && racks_per_campus > 0);
+  FTBB_CHECK(width > 0.0 && gap >= 0.0);
+  const auto rack_of = [&](std::uint32_t n) { return n / nodes_per_rack; };
+  const auto campus_of = [&](std::uint32_t n) {
+    return rack_of(n) / racks_per_campus;
+  };
+  const std::uint32_t campuses = campus_of(nodes - 1) + 1;
+  FTBB_CHECK_MSG(campuses >= 2 && rack_of(nodes - 1) >= 2,
+                 "a cascading partition needs >= 2 campuses and >= 3 racks");
+  FaultPlan plan;
+  const double step = width + gap;
+
+  // Window 1: the last campus drops off the WAN.
+  std::vector<int> wan_cut(nodes, 0);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    if (campus_of(n) == campuses - 1) wan_cut[n] = 1;
+  }
+  plan.partition(start, start + width, std::move(wan_cut));
+
+  // Window 2: the cut widens — every odd campus is its own island.
+  std::vector<int> islands(nodes, 0);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    const std::uint32_t c = campus_of(n);
+    if (c % 2 == 1) islands[n] = static_cast<int>(1 + c);
+  }
+  plan.partition(start + step, start + step + width, std::move(islands));
+
+  // Window 3: the failure reaches the LAN tier — rack 1 splinters from its
+  // own campus (and everyone else).
+  std::vector<int> rack_cut(nodes, 0);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    if (rack_of(n) == 1) rack_cut[n] = 1;
+  }
+  plan.partition(start + 2.0 * step, start + 2.0 * step + width,
+                 std::move(rack_cut));
+  return plan;
+}
+
+FaultPlan FaultPlan::planetary_storm(std::uint32_t nodes,
+                                     std::uint32_t nodes_per_rack,
+                                     std::uint32_t racks_per_campus,
+                                     double start, double scale) {
+  FTBB_CHECK(scale > 0.0);
+  FTBB_CHECK_MSG(nodes >= 3 * nodes_per_rack,
+                 "the storm bounces racks 1 and 2; the population must span them");
+  FaultPlan plan;
+  plan.merge(planetary_churn(nodes, 6, start, scale));
+  plan.merge(rack_failures(1, 2, nodes_per_rack, start + scale, 0.5 * scale,
+                           3.0 * scale));
+  plan.merge(cascading_partition(nodes, nodes_per_rack, racks_per_campus,
+                                 start + 2.0 * scale, 2.0 * scale, scale));
+  plan.loss(start, start + 12.0 * scale, 0.03);
+  return plan;
+}
+
+FaultPlan& FaultPlan::merge(const FaultPlan& other) {
+  const std::size_t partition_base = partitions_.size();
+  crashes_.insert(crashes_.end(), other.crashes_.begin(), other.crashes_.end());
+  rejoins_.insert(rejoins_.end(), other.rejoins_.begin(), other.rejoins_.end());
+  joins_.insert(joins_.end(), other.joins_.begin(), other.joins_.end());
+  partitions_.insert(partitions_.end(), other.partitions_.begin(),
+                     other.partitions_.end());
+  loss_rules_.insert(loss_rules_.end(), other.loss_rules_.begin(),
+                     other.loss_rules_.end());
+  for (PendingSplit split : other.pending_splits_) {
+    split.index += partition_base;
+    pending_splits_.push_back(split);
+  }
+  churned_ = churned_ || other.churned_;
+  return *this;
+}
+
 bool FaultPlan::empty() const {
   return crashes_.empty() && rejoins_.empty() && joins_.empty() &&
          partitions_.empty() && loss_rules_.empty();

@@ -152,6 +152,58 @@ class FaultPlan {
                                         std::uint32_t episodes, double start,
                                         double width, double gap);
 
+  // ---- the planetary family (hierarchical-topology adversity) ----
+  //
+  // These schedules are authored against the implicit rack/campus
+  // coordinates of sim::Topology (rack = node / nodes_per_rack, campus =
+  // rack / racks_per_campus) and model the failure modes a planet-wide
+  // harvested-cycles pool actually exhibits: arrival processes with heavy
+  // tails, whole racks dying as units, and partitions that cascade down
+  // the tier hierarchy instead of splitting the world in independent halves.
+
+  /// Heavy-tailed membership churn: `arrivals` members (ids first,
+  /// first+1, ...) join with deterministic Pareto-flavored inter-arrival
+  /// gaps — most arrivals land one `base_period` apart, a few wait an order
+  /// of magnitude longer — and every third arrival is a transient that
+  /// bounces two base periods after joining. Unlike churn(), whose fixed
+  /// period models a provisioning script, this is the signature of humans
+  /// donating desktops across time zones.
+  static FaultPlan planetary_churn(std::uint32_t first, std::uint32_t arrivals,
+                                   double start, double base_period);
+
+  /// Correlated rack failure: `racks` whole racks die as units — every node
+  /// of rack first_rack+r crashes at the *same instant* start + stagger*r
+  /// (a shared switch or power feed, not independent hosts) and the rack
+  /// returns `downtime` later as fresh incarnations.
+  static FaultPlan rack_failures(std::uint32_t first_rack, std::uint32_t racks,
+                                 std::uint32_t nodes_per_rack, double start,
+                                 double stagger, double downtime);
+
+  /// A partition that cascades *down the tiers* over three windows, each
+  /// `width` wide and `gap` apart: first the last campus drops off the WAN,
+  /// then every odd campus becomes its own island, and finally the failure
+  /// reaches the LAN tier — rack 1 splinters from its own campus. Requires
+  /// the population to span at least two campuses and three racks.
+  static FaultPlan cascading_partition(std::uint32_t nodes,
+                                       std::uint32_t nodes_per_rack,
+                                       std::uint32_t racks_per_campus,
+                                       double start, double width, double gap);
+
+  /// The planetary storm — the deliverable composition: heavy-tailed churn
+  /// of six late arrivals, two correlated rack failures, a cascading
+  /// cross-tier partition, and 3% background loss over the whole episode.
+  /// `scale` stretches every internal interval (downtimes, widths, gaps),
+  /// so one schedule shape serves millisecond-scale test problems and
+  /// long-haul benchmark runs alike.
+  static FaultPlan planetary_storm(std::uint32_t nodes,
+                                   std::uint32_t nodes_per_rack,
+                                   std::uint32_t racks_per_campus,
+                                   double start, double scale);
+
+  /// Appends every event of `other` to this plan. Times are absolute in
+  /// both, so composition is plain union; pending split windows carry over.
+  FaultPlan& merge(const FaultPlan& other);
+
   // ---- queries (used by ScenarioRunner and tests) ----
 
   [[nodiscard]] const std::vector<CrashSpec>& crashes() const { return crashes_; }

@@ -8,6 +8,18 @@
 // corrupted, or spontaneously created, and delivery time is unbounded only
 // through loss (a lost message never arrives).
 //
+// Hierarchical topology: the paper's motivating deployment is idle
+// workstations scattered across LAN / campus / WAN tiers, so NetConfig can
+// optionally carry a Topology that assigns every node a (rack, campus)
+// coordinate and per-tier latency parameters; the (from, to) pair then
+// selects the rack, campus, or WAN latency class. The default topology is
+// flat (one latency class from the top-level NetConfig fields), which keeps
+// every historical run — and every pinned golden fingerprint — bit-identical.
+// The per-pair latency floor doubles as the sharded executor's per-channel
+// lookahead (see make_executor_config below): co-located nodes share a
+// shard, and cross-tier channels grant lookahead as large as their tier's
+// floor instead of the single global minimum.
+//
 // Concurrency & determinism: all loss and jitter draws for messages leaving
 // node n come from n's private stream, in n's deterministic send order, and
 // all counters live in per-node channels written only by that node's shard
@@ -18,6 +30,7 @@
 // them to the right shard.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -42,13 +55,62 @@ struct LossRule {
   std::int32_t to = kAnyNode;
 };
 
+/// One latency class of the hierarchical topology: the same linear cost
+/// model as the flat network, per tier.
+struct TierLatency {
+  double latency_fixed = 1.5e-3;   // seconds
+  double latency_per_byte = 5e-6;  // seconds/byte
+  double jitter_frac = 0.0;        // latency *= U(1-j, 1+j)
+};
+
+/// LAN/campus/WAN tier model. Nodes get implicit coordinates from their id:
+/// rack_of(n) = n / nodes_per_rack and campus_of(n) = rack_of(n) /
+/// racks_per_campus, so a contiguous id range is one rack and racks pack
+/// into campuses. nodes_per_rack = 0 (the default) disables the hierarchy —
+/// the network is a single flat latency class and nothing changes.
+struct Topology {
+  std::uint32_t nodes_per_rack = 0;   // 0 = flat (single latency class)
+  std::uint32_t racks_per_campus = 4;
+  TierLatency rack{100e-6, 2e-7, 0.0};    // same rack: switched LAN
+  TierLatency campus{1.5e-3, 5e-6, 0.0};  // same campus: the paper's network
+  TierLatency wan{30e-3, 1e-5, 0.0};      // cross-campus: wide area
+
+  [[nodiscard]] bool hierarchical() const { return nodes_per_rack > 0; }
+  [[nodiscard]] std::uint32_t rack_of(std::uint32_t node) const {
+    return hierarchical() ? node / nodes_per_rack : 0;
+  }
+  [[nodiscard]] std::uint32_t campus_of(std::uint32_t node) const {
+    return rack_of(node) / (racks_per_campus > 0 ? racks_per_campus : 1);
+  }
+};
+
 struct NetConfig {
   double latency_fixed = 1.5e-3;    // seconds (paper: 1.5 ms)
   double latency_per_byte = 5e-6;   // seconds/byte (paper: 0.005 ms/B)
   double jitter_frac = 0.0;         // latency *= U(1-j, 1+j)
   double loss_prob = 0.0;           // i.i.d. message loss
   std::vector<LossRule> loss_rules; // additional windowed / per-link loss
+  /// Optional LAN/campus/WAN hierarchy. When hierarchical() the per-tier
+  /// parameters replace the flat latency fields above for every message
+  /// (loss and partitions are unaffected — they stay per-link / per-window).
+  Topology topology;
 };
+
+/// The latency class of the directed link (from, to): the flat top-level
+/// parameters, or the tier the pair's coordinates select. The single place
+/// every transport (simulated or wall-clock) derives link parameters from.
+[[nodiscard]] inline TierLatency link_latency(const NetConfig& config,
+                                              std::uint32_t from,
+                                              std::uint32_t to) {
+  const Topology& topo = config.topology;
+  if (!topo.hierarchical()) {
+    return TierLatency{config.latency_fixed, config.latency_per_byte,
+                       config.jitter_frac};
+  }
+  if (topo.rack_of(from) == topo.rack_of(to)) return topo.rack;
+  if (topo.campus_of(from) == topo.campus_of(to)) return topo.campus;
+  return topo.wan;
+}
 
 /// A temporary partition: during [t0, t1) only endpoints in the same group
 /// can communicate. Messages crossing groups are dropped (the harshest
@@ -120,12 +182,37 @@ class Network {
     }
   }
 
-  /// The guaranteed minimum latency of any message under `config` — the
-  /// conservative lookahead a sharded executor may rely on.
-  [[nodiscard]] static double min_latency(const NetConfig& config) {
-    const double jitter = config.jitter_frac > 0.0 ? config.jitter_frac : 0.0;
-    const double floor = config.latency_fixed * (1.0 - jitter);
+  /// The guaranteed minimum latency of one latency class (its fixed cost
+  /// shrunk by the worst-case jitter draw).
+  [[nodiscard]] static double tier_floor(const TierLatency& tier) {
+    const double jitter = tier.jitter_frac > 0.0 ? tier.jitter_frac : 0.0;
+    const double floor = tier.latency_fixed * (1.0 - jitter);
     return floor > 0.0 ? floor : 0.0;
+  }
+
+  /// The guaranteed minimum latency of any message under `config` — the
+  /// conservative global lookahead a sharded executor may rely on. With a
+  /// hierarchical topology this is the smallest tier floor (normally the
+  /// rack tier); per-pair floors below are at least this large.
+  [[nodiscard]] static double min_latency(const NetConfig& config) {
+    const Topology& topo = config.topology;
+    if (!topo.hierarchical()) {
+      return tier_floor(TierLatency{config.latency_fixed,
+                                    config.latency_per_byte,
+                                    config.jitter_frac});
+    }
+    return std::min({tier_floor(topo.rack), tier_floor(topo.campus),
+                     tier_floor(topo.wan)});
+  }
+
+  /// The guaranteed minimum latency on the directed link (from, to): the
+  /// floor of the latency class the pair's coordinates select. Messages
+  /// between distant nodes can never arrive sooner than this, which is what
+  /// lets the sharded executor grant per-channel lookahead far beyond the
+  /// global minimum.
+  [[nodiscard]] static double min_latency(const NetConfig& config,
+                                          std::uint32_t from, std::uint32_t to) {
+    return tier_floor(link_latency(config, from, to));
   }
 
   void add_partition(Partition p) { partitions_.push_back(std::move(p)); }
@@ -155,10 +242,11 @@ class Network {
       ++src.messages_lost;
       return false;
     }
-    double latency = config_.latency_fixed +
-                     config_.latency_per_byte * static_cast<double>(bytes);
-    if (config_.jitter_frac > 0.0) {
-      latency *= src.rng.uniform(1.0 - config_.jitter_frac, 1.0 + config_.jitter_frac);
+    const TierLatency link = link_latency(config_, from, to);
+    double latency =
+        link.latency_fixed + link.latency_per_byte * static_cast<double>(bytes);
+    if (link.jitter_frac > 0.0) {
+      latency *= src.rng.uniform(1.0 - link.jitter_frac, 1.0 + link.jitter_frac);
     }
     src.bytes_delivered += bytes;
     kernel_->at(departure + latency, static_cast<OwnerId>(to),
@@ -217,5 +305,62 @@ class Network {
   std::vector<Channel> channels_;
   std::vector<Partition> partitions_;
 };
+
+/// The one place every simulated backend (SimCluster, CentralSim, DibSim)
+/// derives its kernel dispatch policy from a network config. Fills in:
+///
+///   * the global conservative lookahead (Network::min_latency) — backends
+///     used to re-derive latency_fixed*(1-jitter_frac) by hand;
+///   * with a hierarchical topology, a per-channel lookahead model at rack
+///     granularity (group = rack, matrix of per-pair tier floors) so the
+///     sharded executor can open windows bounded by each *channel's* floor
+///     instead of the single global minimum;
+///   * a topology-aligned shard affinity so co-located nodes share a shard
+///     and cross-shard traffic crosses the slow, high-lookahead tiers.
+///
+/// `per_channel = false` keeps the classic single global-barrier lookahead
+/// (used by benchmarks to measure what the refinement buys). Either setting
+/// yields bit-identical results — only the dispatch parallelism changes.
+[[nodiscard]] inline ExecutorConfig make_executor_config(const NetConfig& net,
+                                                         std::uint32_t nodes,
+                                                         std::uint32_t threads,
+                                                         bool per_channel = true) {
+  ExecutorConfig ex;
+  ex.threads = threads;
+  ex.nodes = nodes;
+  ex.lookahead = Network::min_latency(net);
+  const Topology& topo = net.topology;
+  if (!per_channel || !topo.hierarchical() || nodes == 0) return ex;
+
+  const std::uint32_t racks = topo.rack_of(nodes - 1) + 1;
+  ex.channels.groups = racks;
+  ex.channels.group_of.resize(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    ex.channels.group_of[n] = topo.rack_of(n);
+  }
+  ex.channels.min_latency.assign(static_cast<std::size_t>(racks) * racks, 0.0);
+  for (std::uint32_t a = 0; a < racks; ++a) {
+    const std::uint32_t node_a = a * topo.nodes_per_rack;  // representative
+    for (std::uint32_t b = 0; b < racks; ++b) {
+      const std::uint32_t node_b = b * topo.nodes_per_rack;
+      ex.channels.min_latency[static_cast<std::size_t>(a) * racks + b] =
+          Network::min_latency(net, node_a, node_b);
+    }
+  }
+
+  // Shard affinity: keep campuses whole when there are enough of them to
+  // feed every thread (cross-shard traffic is then all WAN-tier), else keep
+  // racks whole (cross-shard traffic is at least campus-tier). The executor
+  // maps keys onto shards by modulo; any map is sound — the per-pair floors
+  // above are what guarantee window safety — this one just maximizes how
+  // much lookahead the cross-shard channels grant.
+  const std::uint32_t campuses = topo.campus_of(nodes - 1) + 1;
+  ex.shard_of.resize(nodes);
+  for (std::uint32_t n = 0; n < nodes; ++n) {
+    ex.shard_of[n] = (threads > 0 && campuses >= threads) ? topo.campus_of(n)
+                                                          : topo.rack_of(n);
+  }
+  return ex;
+}
 
 }  // namespace ftbb::sim

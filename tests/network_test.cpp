@@ -135,6 +135,90 @@ TEST(Network, OverlappingLossSourcesCombineIndependently) {
   EXPECT_NEAR(static_cast<double>(delivered) / n, 0.25, 0.02);
 }
 
+// ---------------------------------------------------------------------------
+// Hierarchical topology: tier selection, floors, and the per-pair lookahead
+// helper the sharded executor derives its channel windows from.
+// ---------------------------------------------------------------------------
+
+NetConfig hierarchical_config() {
+  NetConfig cfg;
+  cfg.topology.nodes_per_rack = 4;
+  cfg.topology.racks_per_campus = 2;
+  return cfg;  // default tiers: rack 100us, campus 1.5ms, WAN 30ms
+}
+
+TEST(Network, HierarchicalTiersOrderPairFloors) {
+  const NetConfig cfg = hierarchical_config();
+  // Nodes 0-3 share rack 0; 0-7 share campus 0; node 8 is another campus.
+  const double rack = Network::min_latency(cfg, 0, 1);
+  const double campus = Network::min_latency(cfg, 0, 4);
+  const double wan = Network::min_latency(cfg, 0, 8);
+  EXPECT_LT(rack, campus);
+  EXPECT_LT(campus, wan);
+  EXPECT_NEAR(rack, 100e-6, 1e-12);
+  EXPECT_NEAR(campus, 1.5e-3, 1e-12);
+  EXPECT_NEAR(wan, 30e-3, 1e-12);
+  // The global conservative lookahead is the smallest pair floor, and every
+  // pair floor dominates it (symmetrically — coordinates are undirected).
+  EXPECT_DOUBLE_EQ(Network::min_latency(cfg), rack);
+  for (std::uint32_t a = 0; a < 12; ++a) {
+    for (std::uint32_t b = 0; b < 12; ++b) {
+      EXPECT_GE(Network::min_latency(cfg, a, b), Network::min_latency(cfg));
+      EXPECT_DOUBLE_EQ(Network::min_latency(cfg, a, b),
+                       Network::min_latency(cfg, b, a));
+    }
+  }
+}
+
+TEST(Network, TierSelectionDeliversAtTierModel) {
+  const NetConfig cfg = hierarchical_config();
+  Kernel k;
+  Network net(&k, cfg, support::Rng(1), 12);
+  double rack_arrival = -1.0;
+  double campus_arrival = -1.0;
+  double wan_arrival = -1.0;
+  net.send(0, 3, 100, 0.0, [&] { rack_arrival = k.now(); });
+  net.send(0, 5, 100, 0.0, [&] { campus_arrival = k.now(); });
+  net.send(0, 9, 100, 0.0, [&] { wan_arrival = k.now(); });
+  k.run();
+  EXPECT_NEAR(rack_arrival, 100e-6 + 100 * 2e-7, 1e-12);
+  EXPECT_NEAR(campus_arrival, 1.5e-3 + 100 * 5e-6, 1e-12);
+  EXPECT_NEAR(wan_arrival, 30e-3 + 100 * 1e-5, 1e-12);
+}
+
+TEST(Network, TierJitterShrinksTheFloorAndBoundsArrivals) {
+  NetConfig cfg = hierarchical_config();
+  cfg.topology.rack.jitter_frac = 0.5;
+  // The guaranteed floor is the worst-case jitter draw...
+  EXPECT_NEAR(Network::min_latency(cfg, 0, 1), 100e-6 * 0.5, 1e-12);
+  // ...and campus/WAN pairs (no jitter configured) keep their full floors.
+  EXPECT_NEAR(Network::min_latency(cfg, 0, 4), 1.5e-3, 1e-12);
+  Kernel k;
+  Network net(&k, cfg, support::Rng(17), 8);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 200; ++i) {
+    net.send(0, 1, 0, 0.0, [&] { arrivals.push_back(k.now()); });
+  }
+  k.run();
+  ASSERT_EQ(arrivals.size(), 200u);
+  for (const double a : arrivals) {
+    EXPECT_GE(a, 100e-6 * 0.5 - 1e-12);
+    EXPECT_LE(a, 100e-6 * 1.5 + 1e-12);
+  }
+}
+
+TEST(Network, FlatDefaultIsASinglePairClass) {
+  const NetConfig flat;  // nodes_per_rack = 0: the historical network
+  EXPECT_FALSE(flat.topology.hierarchical());
+  for (std::uint32_t a = 0; a < 6; ++a) {
+    for (std::uint32_t b = 0; b < 6; ++b) {
+      EXPECT_DOUBLE_EQ(Network::min_latency(flat, a, b),
+                       Network::min_latency(flat));
+    }
+  }
+  EXPECT_NEAR(Network::min_latency(flat), 1.5e-3, 1e-12);
+}
+
 TEST(Network, StatsCountBytes) {
   Kernel k;
   Network net(&k, NetConfig{}, support::Rng(1), 4);

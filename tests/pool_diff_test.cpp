@@ -121,6 +121,85 @@ TEST_P(PoolDiff, MixedOpStreamIsOperationIdentical) {
   pool.check_invariants();
 }
 
+TEST_P(PoolDiff, LazyNurseryDrainIsOperationIdentical) {
+  // Drives the nursery through its lazy lifecycle explicitly: a bulk load
+  // far past the index-build threshold (everything sits in the nursery),
+  // the one tolerated bulky query scan, the drain on the second query, and
+  // then removal flavors whose victim sets span tree residents and fresh
+  // nursery residents — all of it operation-identical to the seed pool,
+  // victim order included.
+  const SelectRule rule = GetParam();
+  support::Rng rng(0xAB5EED + static_cast<std::uint64_t>(rule));
+  ActivePool pool(rule);
+  LegacyPool legacy(rule);
+
+  // Continuous bounds: at this pool size the coarse pick(64) bounds breed
+  // exact (depth, bound, code) duplicates, and the seed reference's
+  // extraction order is unspecified across such twins (see
+  // legacy_pool.hpp). Tie behavior is MixedOpStream's job; this test pins
+  // the nursery lifecycle.
+  const auto push_batch = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      Subproblem p{random_code(rng, 10), rng.uniform()};
+      legacy.push(p);
+      pool.push(std::move(p));
+    }
+  };
+
+  // Bulk load: no query has run, so every entry is nursery-resident.
+  push_batch(2000);
+  pool.check_invariants();
+
+  // First query after the load tolerates the oversized nursery scan;
+  // the second drains it into the trees. Identical answers either side.
+  EXPECT_EQ(pool.best_bound(), legacy.best_bound());
+  pool.check_invariants();
+  EXPECT_EQ(pool.best_bound(), legacy.best_bound());
+  pool.check_invariants();
+
+  // Steady-state rounds: top up (fresh nursery residents), then remove in
+  // every flavor — victims interleave drained and undrained entries, and
+  // their reported order must match the seed heap-array order exactly.
+  for (int round = 0; round < 6; ++round) {
+    push_batch(300);
+    const double threshold = 0.6 + 0.4 * rng.uniform();
+    expect_same(pool.prune_above(threshold),
+                legacy.remove_if([threshold](const Subproblem& p) {
+                  return p.bound >= threshold;
+                }),
+                "lazy prune_above");
+    push_batch(200);
+    std::vector<PathCode> regions;
+    for (std::size_t i = 0; i < 2; ++i) regions.push_back(random_code(rng, 5));
+    expect_same(pool.remove_covered_by(regions),
+                legacy.remove_if([&regions](const Subproblem& p) {
+                  return std::any_of(
+                      regions.begin(), regions.end(),
+                      [&p](const PathCode& r) { return r.contains(p.code); });
+                }),
+                "lazy remove_covered_by");
+    const std::size_t k = 1 + rng.pick(32);
+    expect_same(pool.extract_for_sharing(k), legacy.extract_for_sharing(k),
+                "lazy extract_for_sharing");
+    ASSERT_EQ(pool.size(), legacy.size());
+    ASSERT_EQ(pool.best_bound(), legacy.best_bound());
+    pool.check_invariants();
+  }
+
+  // Recycled restart: clear both, reload, and re-verify — entry recycling
+  // and the fresh nursery must not perturb any observable.
+  pool.clear();
+  legacy.clear();
+  EXPECT_TRUE(pool.empty());
+  push_batch(1500);
+  pool.check_invariants();
+  while (!legacy.empty()) {
+    EXPECT_EQ(pool.pop(), legacy.pop()) << "post-clear drain diverged";
+  }
+  EXPECT_TRUE(pool.empty());
+  pool.check_invariants();
+}
+
 TEST_P(PoolDiff, CoveredSweepWithTableHintsMatchesFullScan) {
   // Reproduces the worker's discipline: every push is covered-checked
   // against the table first, and every table insertion while the pool is

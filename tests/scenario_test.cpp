@@ -255,6 +255,88 @@ TEST(NamedPlans, ExerciseTheIntendedFaultKinds) {
       FaultPlan::asymmetric_partition(1, 2, 0.0, 0.1, 0.1).has(FaultKind::kPartition));
 }
 
+// ---------------------------------------------------------------------------
+// Planetary corpus: the hierarchical-topology fault family under a
+// LAN/campus/WAN network. Same golden-fingerprint discipline as the named
+// plans above, plus sharded-executor equality — these runs exercise the
+// per-channel lookahead windows (topology-aligned shards, per-pair floors).
+// ---------------------------------------------------------------------------
+
+struct PlanetaryCase {
+  const char* name;
+  std::uint32_t workers;
+  FaultPlan plan;
+  std::uint64_t golden;  // pinned ScenarioReport fingerprint
+};
+
+constexpr std::uint32_t kPlanetaryNodesPerRack = 4;
+constexpr std::uint32_t kPlanetaryRacksPerCampus = 2;
+
+std::vector<PlanetaryCase> planetary_cases() {
+  std::vector<PlanetaryCase> cases;
+  cases.push_back({"planetary-churn", 8,
+                   FaultPlan::planetary_churn(8, 5, 0.05, 0.04),
+                   0x7f242dcf9997bbd9ULL});
+  cases.push_back({"rack-failures", 12,
+                   FaultPlan::rack_failures(1, 2, kPlanetaryNodesPerRack, 0.05,
+                                            0.04, 0.1),
+                   0x2fe602dd22a964abULL});
+  cases.push_back({"cascading-partition", 24,
+                   FaultPlan::cascading_partition(24, kPlanetaryNodesPerRack,
+                                                  kPlanetaryRacksPerCampus,
+                                                  0.04, 0.08, 0.04),
+                   0xa9ad8d7a8eb61ab5ULL});
+  cases.push_back({"planetary-storm", 24,
+                   FaultPlan::planetary_storm(24, kPlanetaryNodesPerRack,
+                                              kPlanetaryRacksPerCampus, 0.05,
+                                              0.05),
+                   0xad4d06cd043024abULL});
+  return cases;
+}
+
+ScenarioSpec planetary_spec(const PlanetaryCase& c) {
+  ScenarioSpec spec = base_spec(c.name, Backend::kFtbb, 131);
+  spec.workers = c.workers;
+  spec.faults = c.plan;
+  spec.net.topology.nodes_per_rack = kPlanetaryNodesPerRack;
+  spec.net.topology.racks_per_campus = kPlanetaryRacksPerCampus;
+  return spec;
+}
+
+TEST(PlanetaryPlans, CompleteOptimallyAndMatchGoldenFingerprints) {
+  for (const PlanetaryCase& c : planetary_cases()) {
+    const ScenarioReport report = ScenarioRunner::run(planetary_spec(c));
+    expect_solved(report);
+    EXPECT_EQ(report.fingerprint(), c.golden)
+        << c.name << " actual 0x" << std::hex << report.fingerprint() << "\n"
+        << report.to_string();
+  }
+}
+
+TEST(PlanetaryPlans, ShardedExecutorReproducesEveryGolden) {
+  for (const PlanetaryCase& c : planetary_cases()) {
+    for (const std::uint32_t threads : {2u, 4u}) {
+      ScenarioSpec spec = planetary_spec(c);
+      spec.sim_threads = threads;
+      const ScenarioReport report = ScenarioRunner::run(spec);
+      EXPECT_EQ(report.fingerprint(), c.golden)
+          << c.name << " with " << threads << " threads\n" << report.to_string();
+    }
+  }
+}
+
+TEST(PlanetaryPlans, StormExercisesEveryFaultKind) {
+  const FaultPlan storm = FaultPlan::planetary_storm(24, 4, 2, 0.05, 0.05);
+  EXPECT_TRUE(storm.has(FaultKind::kCrash));
+  EXPECT_TRUE(storm.has(FaultKind::kRejoin));
+  EXPECT_TRUE(storm.has(FaultKind::kPartition));
+  EXPECT_TRUE(storm.has(FaultKind::kLoss));
+  EXPECT_TRUE(storm.has(FaultKind::kChurn));
+  EXPECT_EQ(storm.distinct_fault_kinds(), kFaultKinds);
+  // Churn arrivals extend the population: 24 initial + 6 heavy-tailed.
+  EXPECT_EQ(storm.max_node(), 29);
+}
+
 TEST(FaultPlan, IsolateMaterializesARotatingMinority) {
   FaultPlan plan = FaultPlan::asymmetric_partition(2, 3, 0.0, 0.1, 0.1);
   plan.for_workers(5);
