@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_timing.hpp"
 #include "bench/workloads.hpp"
 
 namespace {
@@ -135,14 +136,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  FILE* json = std::fopen("BENCH_compression.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_compression.json\n");
-    return 1;
-  }
+  FILE* json = bench::open_bench_json("BENCH_compression.json", "compression");
+  if (json == nullptr) return 1;
   std::fprintf(json,
-               "{\n  \"bench\": \"compression\",\n  \"workload\": "
-               "\"basic-tree-%u\",\n  \"smoke\": %s,\n"
+               "  \"workload\": \"basic-tree-%u\",\n  \"smoke\": %s,\n"
                "  \"v1_reduces_report_bytes_everywhere\": %s,\n  \"cells\": [\n",
                tree_cfg.target_nodes, smoke ? "true" : "false",
                v1_wins_everywhere ? "true" : "false");

@@ -7,9 +7,13 @@
 // reproducing that mismatch; the paper's conclusion — parameters must adapt
 // to the observed execution time per subproblem — is exactly what this
 // table shows.
+//
+// `--smoke` shrinks the sweeps for CI.
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "bench/bench_timing.hpp"
 #include "bench/workloads.hpp"
 
 namespace {
@@ -32,20 +36,34 @@ struct AdaptiveSample {
   std::uint64_t adaptive_timeouts = 0;
   std::uint64_t adaptive_redundant = 0;
   double adaptive_efficiency = -1.0;
+  std::uint64_t model_timeouts = 0;
+  std::uint64_t model_redundant = 0;
+  double model_efficiency = -1.0;
 };
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ftbb;
-  std::printf("E7 / granularity sweep: node cost x{0.1,0.3,1,3,10}, 8 processors\n\n");
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf("E7 / granularity sweep: node cost x{0.1,0.3,1,3,10}, 8 processors%s\n\n",
+              smoke ? " (smoke)" : "");
+
+  const std::vector<double> sweep_factors =
+      smoke ? std::vector<double>{0.1, 10.0}
+            : std::vector<double>{0.1, 0.3, 1.0, 3.0, 10.0};
+  const std::vector<double> adaptive_factors =
+      smoke ? std::vector<double>{10.0} : std::vector<double>{0.1, 1.0, 10.0, 30.0};
 
   std::vector<SweepSample> sweep;
   std::vector<AdaptiveSample> adaptive_sweep;
   support::TextTable table({"cost factor", "mean cost (s)", "makespan (s)",
                             "efficiency", "idle+lb", "msgs/node",
                             "redundant"});
-  for (const double factor : {0.1, 0.3, 1.0, 3.0, 10.0}) {
+  for (const double factor : sweep_factors) {
     bnb::RandomTreeConfig tree_cfg;
     tree_cfg.target_nodes = 4001;
     tree_cfg.cost_mean = 0.01;  // base granularity; scaled below
@@ -92,14 +110,16 @@ int main() {
 
   // E15 extension: the paper's proposed remedy — "a flexible scheme for
   // adapting parameters to runtime informations, such as ... execution time
-  // per problem" (Section 7) — implemented as WorkerConfig::adaptive_timeouts.
+  // per problem" (Section 7) — in its two implementations: the per-knob
+  // kEwma scheme (WorkerConfig::adaptive_timeouts) and the cost-model
+  // controller (WorkerConfig::model_adaptivity, core/cost_model.hpp).
   std::printf("E15 / adaptive parameters (Section 7 future work): fixed vs\n"
-              "adaptive timeouts across the same granularity sweep, with eager\n"
-              "failure suspicion (denies count, 1 attempt) to expose the risk\n");
-  support::TextTable t2({"cost factor", "fixed: timeouts", "fixed: redundant",
-                         "fixed: efficiency", "adaptive: timeouts",
-                         "adaptive: redundant", "adaptive: efficiency"});
-  for (const double factor : {0.1, 1.0, 10.0, 30.0}) {
+              "adaptive vs cost-model timeouts across the same granularity\n"
+              "sweep, with eager failure suspicion (1 attempt) to expose the risk\n");
+  support::TextTable t2({"cost factor", "fixed: timeouts", "fixed: eff",
+                         "adaptive: timeouts", "adaptive: eff",
+                         "model: timeouts", "model: eff"});
+  for (const double factor : adaptive_factors) {
     bnb::RandomTreeConfig tree_cfg;
     tree_cfg.target_nodes = 4001;
     tree_cfg.cost_mean = 0.01;
@@ -109,50 +129,51 @@ int main() {
     bnb::TreeProblem problem(&tree, /*honor_bounds=*/false);
     const double ideal = tree.total_cost() / 8.0;
 
-    auto run = [&](bool adaptive) {
+    auto run = [&](bool adaptive, bool model) {
       sim::ClusterConfig cfg = bench::small_cluster_config(8, 23);
       cfg.time_limit = 3e6;
       cfg.worker.attempts_before_recovery = 1;  // eager timeout suspicion
       cfg.worker.adaptive_timeouts = adaptive;
+      cfg.worker.model_adaptivity = model;
       return sim::SimCluster::run(problem, cfg);
     };
-    const sim::ClusterResult fixed = run(false);
-    const sim::ClusterResult adaptive = run(true);
+    const sim::ClusterResult fixed = run(false, false);
+    const sim::ClusterResult adaptive = run(true, false);
+    const sim::ClusterResult model = run(false, true);
     auto timeouts = [](const sim::ClusterResult& res) {
       std::uint64_t n = 0;
       for (const auto& w : res.workers) n += w.request_timeouts;
       return n;
     };
+    auto eff = [&](const sim::ClusterResult& res) {
+      return res.all_live_halted ? ideal / res.makespan : -1.0;
+    };
     adaptive_sweep.push_back(AdaptiveSample{
-        factor, timeouts(fixed), fixed.redundant_expansions,
-        fixed.all_live_halted ? ideal / fixed.makespan : -1.0,
-        timeouts(adaptive), adaptive.redundant_expansions,
-        adaptive.all_live_halted ? ideal / adaptive.makespan : -1.0});
+        factor, timeouts(fixed), fixed.redundant_expansions, eff(fixed),
+        timeouts(adaptive), adaptive.redundant_expansions, eff(adaptive),
+        timeouts(model), model.redundant_expansions, eff(model)});
+    auto pct = [&](const sim::ClusterResult& res) {
+      return res.all_live_halted
+                 ? support::TextTable::pct(ideal / res.makespan, 1)
+                 : std::string("-");
+    };
     t2.row({support::TextTable::num(factor, 1),
-            std::to_string(timeouts(fixed)),
-            std::to_string(fixed.redundant_expansions),
-            fixed.all_live_halted
-                ? support::TextTable::pct(ideal / fixed.makespan, 1)
-                : "-",
-            std::to_string(timeouts(adaptive)),
-            std::to_string(adaptive.redundant_expansions),
-            adaptive.all_live_halted
-                ? support::TextTable::pct(ideal / adaptive.makespan, 1)
-                : "-"});
+            std::to_string(timeouts(fixed)), pct(fixed),
+            std::to_string(timeouts(adaptive)), pct(adaptive),
+            std::to_string(timeouts(model)), pct(model)});
   }
   std::printf("%s", t2.render().c_str());
   std::printf("\nexpected shape: with fixed fine-grained timeouts, coarse nodes make\n"
               "busy peers look dead -> spurious recovery -> redundant work; the\n"
-              "adaptive scheme scales its patience with the observed node cost and\n"
-              "keeps redundancy near zero at every granularity.\n");
+              "adaptive schemes scale their patience with the observed node cost.\n"
+              "The cost-model controller additionally keeps message-priced knobs\n"
+              "(backoff, flush) at base, recovering the efficiency the per-knob\n"
+              "scheme gives up.\n");
 
-  FILE* json = std::fopen("BENCH_granularity.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_granularity.json\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n  \"bench\": \"granularity\",\n  \"workers\": 8,\n"
-                     "  \"sweep\": [\n");
+  FILE* json = bench::open_bench_json("BENCH_granularity.json", "granularity");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "  \"workers\": 8,\n  \"smoke\": %s,\n  \"sweep\": [\n",
+               smoke ? "true" : "false");
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepSample& s = sweep[i];
     std::fprintf(json,
@@ -170,13 +191,18 @@ int main() {
                  "    {\"cost_factor\": %.1f, \"fixed_timeouts\": %llu, "
                  "\"fixed_redundant\": %llu, \"fixed_efficiency\": %.4f, "
                  "\"adaptive_timeouts\": %llu, \"adaptive_redundant\": %llu, "
-                 "\"adaptive_efficiency\": %.4f}%s\n",
+                 "\"adaptive_efficiency\": %.4f, "
+                 "\"model_timeouts\": %llu, \"model_redundant\": %llu, "
+                 "\"model_efficiency\": %.4f}%s\n",
                  s.factor, static_cast<unsigned long long>(s.fixed_timeouts),
                  static_cast<unsigned long long>(s.fixed_redundant),
                  s.fixed_efficiency,
                  static_cast<unsigned long long>(s.adaptive_timeouts),
                  static_cast<unsigned long long>(s.adaptive_redundant),
                  s.adaptive_efficiency,
+                 static_cast<unsigned long long>(s.model_timeouts),
+                 static_cast<unsigned long long>(s.model_redundant),
+                 s.model_efficiency,
                  i + 1 < adaptive_sweep.size() ? "," : "");
   }
   std::fprintf(json, "  ]\n}\n");

@@ -179,13 +179,10 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.render().c_str());
 
-  FILE* json = std::fopen("BENCH_micro_codes.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_micro_codes.json\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n  \"bench\": \"micro_codes\",\n  \"smoke\": %s,\n"
-                     "  \"results\": [\n", smoke ? "true" : "false");
+  FILE* json = bench::open_bench_json("BENCH_micro_codes.json", "micro_codes");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "  \"smoke\": %s,\n  \"results\": [\n",
+               smoke ? "true" : "false");
   for (std::size_t i = 0; i < results.size(); ++i) {
     std::fprintf(json, "    {\"name\": \"%s\", \"ops_per_sec\": %.0f}%s\n",
                  results[i].name.c_str(), results[i].ops_per_sec,

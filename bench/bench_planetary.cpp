@@ -177,13 +177,9 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(row));
   }
 
-  FILE* json = std::fopen("BENCH_planetary.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_planetary.json\n");
-    return 1;
-  }
+  FILE* json = bench::open_bench_json("BENCH_planetary.json", "planetary");
+  if (json == nullptr) return 1;
   std::fprintf(json,
-               "{\n  \"bench\": \"planetary\",\n"
                "  \"topology\": {\"nodes_per_rack\": %u, \"racks_per_campus\": %u},\n"
                "  \"smoke\": %s,\n  \"rows\": [\n",
                kNodesPerRack, kRacksPerCampus, smoke ? "true" : "false");

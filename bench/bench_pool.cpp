@@ -261,13 +261,10 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.render().c_str());
   }
 
-  FILE* json = std::fopen("BENCH_pool.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_pool.json\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n  \"bench\": \"pool\",\n  \"rule\": \"best-first\",\n"
-                     "  \"smoke\": %s,\n  \"sizes\": [\n", smoke ? "true" : "false");
+  FILE* json = bench::open_bench_json("BENCH_pool.json", "pool");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "  \"rule\": \"best-first\",\n  \"smoke\": %s,\n"
+                     "  \"sizes\": [\n", smoke ? "true" : "false");
   for (std::size_t s = 0; s < all.size(); ++s) {
     std::fprintf(json, "    {\"entries\": %zu, \"ops\": [\n", all[s].entries);
     for (std::size_t o = 0; o < all[s].ops.size(); ++o) {

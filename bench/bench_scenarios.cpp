@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_timing.hpp"
 #include "sim/scenario.hpp"
 #include "support/table.hpp"
 
@@ -133,13 +134,10 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.render().c_str());
   }
 
-  FILE* json = std::fopen("BENCH_scenarios.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_scenarios.json\n");
-    return 1;
-  }
+  FILE* json = bench::open_bench_json("BENCH_scenarios.json", "scenarios");
+  if (json == nullptr) return 1;
   std::fprintf(json,
-               "{\n  \"bench\": \"scenarios\",\n  \"workload\": \"knapsack-14\",\n"
+               "  \"workload\": \"knapsack-14\",\n"
                "  \"smoke\": %s,\n  \"cells\": [\n",
                smoke ? "true" : "false");
   for (std::size_t i = 0; i < cells.size(); ++i) {

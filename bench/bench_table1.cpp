@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_timing.hpp"
 #include "bench/workloads.hpp"
 #include "bnb/sequential.hpp"
 
@@ -151,17 +152,13 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", speedup_table.render().c_str());
 
-  FILE* json = std::fopen("BENCH_table1.json", "w");
-  if (json == nullptr) {
-    std::printf("cannot write BENCH_table1.json\n");
-    return 1;
-  }
+  FILE* json = bench::open_bench_json("BENCH_table1.json", "table1");
+  if (json == nullptr) return 1;
   std::fprintf(json,
-               "{\n  \"bench\": \"table1\",\n  \"workload\": "
-               "\"basic-tree-%llu@%.3fs\",\n  \"workers\": 100,\n"
-               "  \"hardware_concurrency\": %u,\n  \"throughput\": [\n",
+               "  \"workload\": \"basic-tree-%llu@%.3fs\",\n"
+               "  \"workers\": 100,\n  \"throughput\": [\n",
                static_cast<unsigned long long>(bench::kLargeNodes),
-               bench::kSmallNodeCost, std::thread::hardware_concurrency());
+               bench::kSmallNodeCost);
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const Sample& s = samples[i];
     std::fprintf(json,

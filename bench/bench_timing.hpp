@@ -1,8 +1,19 @@
-// Shared self-timing harness for the hand-rolled microbenches.
+// Shared self-timing harness and JSON-artifact preamble for the benches.
+//
+// Every bench emits a BENCH_<name>.json tracked across PRs; comparing those
+// artifacts is only meaningful when the machine and the build that produced
+// them are recorded. open_bench_json() is the single place that knowledge
+// lives: it opens the artifact and writes the common preamble (bench name,
+// hardware concurrency, build flags, git revision), and the caller appends
+// its bench-specific fields before closing the object.
 #pragma once
 
+#include <cctype>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
 
 namespace ftbb::bench {
 
@@ -30,6 +41,61 @@ double measure(double target_seconds, double ops_per_call, Fn&& op) {
     elapsed = now_seconds() - start;
   } while (elapsed < target_seconds);
   return static_cast<double>(calls) * ops_per_call / elapsed;
+}
+
+/// Compiler + optimization mode the binary was built with.
+inline std::string build_flags() {
+#ifdef NDEBUG
+  std::string s = "release";
+#else
+  std::string s = "debug";
+#endif
+#ifdef __OPTIMIZE__
+  s += "+optimize";
+#endif
+#ifdef __VERSION__
+  s += " ";
+  s += __VERSION__;
+#endif
+  return s;
+}
+
+/// `git describe --always --dirty` of the working tree, sanitized to the
+/// JSON-safe characters a revision can contain; "unknown" when git (or the
+/// repository) is unavailable, e.g. when a release tarball is benchmarked.
+inline std::string git_describe() {
+  std::string out;
+  if (FILE* p = ::popen("git describe --always --dirty 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+    ::pclose(p);
+  }
+  std::string clean;
+  for (const char c : out) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+        c == '-' || c == '_' || c == '+' || c == '/') {
+      clean += c;
+    }
+  }
+  return clean.empty() ? "unknown" : clean;
+}
+
+/// Opens `path` and writes the shared preamble: `{"bench": ...}` plus the
+/// machine/build provenance fields. The object is left OPEN — the caller
+/// appends its own fields and writes the closing brace. Returns nullptr
+/// (after printing a diagnostic) when the file cannot be created.
+inline FILE* open_bench_json(const char* path, const char* bench_name) {
+  FILE* json = std::fopen(path, "w");
+  if (json == nullptr) {
+    std::printf("cannot write %s\n", path);
+    return nullptr;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"%s\",\n  \"hardware_concurrency\": %u,\n"
+               "  \"build\": \"%s\",\n  \"git\": \"%s\",\n",
+               bench_name, std::thread::hardware_concurrency(),
+               build_flags().c_str(), git_describe().c_str());
+  return json;
 }
 
 }  // namespace ftbb::bench

@@ -27,6 +27,7 @@
 
 #include "bnb/basic_tree.hpp"
 #include "bnb/knapsack.hpp"
+#include "bnb/shifty.hpp"
 #include "core/worker.hpp"
 #include "sim/cluster.hpp"
 #include "support/table.hpp"
@@ -83,6 +84,16 @@ inline bnb::BasicTree large_problem_dense() {
   cfg.depth_bias = 0.6;
   cfg.value_slack_mean = 1e7;
   return bnb::BasicTree::random(cfg);
+}
+
+/// Adversarial workload: the branching factor and per-node cost shift
+/// mid-solve (bnb/shifty.hpp), so any fixed report/timeout tuning is wrong
+/// for half of the tree. Used to exercise the cost-model controller.
+inline bnb::ShiftyProblem small_shifty(std::uint32_t depth = 12,
+                                       std::uint64_t seed = 7) {
+  bnb::ShiftyOptions opts;
+  opts.depth_limit = depth;
+  return bnb::ShiftyProblem(seed, opts);
 }
 
 /// Worker tuning for the small (10 ms granularity) problem.

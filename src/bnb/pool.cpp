@@ -149,11 +149,13 @@ void ActivePool::build_indexes() {
   // size threshold mid-bulk-load must not charge the load for tree inserts
   // it may never benefit from. The first query-heavy phase drains it.
   indexed_ = true;
+  ++maint_.index_builds;
   nursery_.reserve(heap_.size());
   for (const HeapSlot& s : heap_) nursery_add(s.e);
 }
 
 void ActivePool::drop_indexes() {
+  if (indexed_) ++maint_.index_drops;
   bound_index_.clear();
   share_index_.clear();
   code_index_.clear();
@@ -190,6 +192,10 @@ void ActivePool::nursery_remove(Entry* e) {
 }
 
 void ActivePool::flush_nursery() {
+  if (!nursery_.empty()) {
+    ++maint_.nursery_drains;
+    maint_.nursery_promoted += nursery_.size();
+  }
   for (Entry* e : nursery_) {
     e->in_index = true;
     index_insert(e);
@@ -216,6 +222,7 @@ void ActivePool::untrack(Entry* e) {
 // ---------------------------------------------------------------------------
 
 void ActivePool::push(Subproblem p) {
+  ++maint_.pushes;
   Entry* raw = acquire(std::move(p));
   heap_.push_back(HeapSlot{raw->item.bound,
                            static_cast<std::uint32_t>(raw->item.code.depth()),
@@ -230,6 +237,7 @@ void ActivePool::push(Subproblem p) {
 
 Subproblem ActivePool::pop() {
   FTBB_CHECK_MSG(!heap_.empty(), "pop from empty pool");
+  ++maint_.pops;
   Entry* top = heap_.front().e;
   if (indexed_) untrack(top);
   if (heap_.size() > 1) {
@@ -270,10 +278,12 @@ std::vector<Subproblem> ActivePool::prune_above(double threshold) {
          it != bound_index_.end(); ++it) {
       victims.push_back(*it);
     }
+    maint_.sweep_entries_scanned += victims.size() + nursery_.size();
     for (Entry* e : nursery_) {
       if (e->item.bound >= threshold) victims.push_back(e);
     }
   } else {
+    maint_.sweep_entries_scanned += heap_.size();
     for (const HeapSlot& s : heap_) {
       if (s.bound >= threshold) victims.push_back(s.e);
     }
@@ -292,6 +302,7 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
         victims.push_back(*it);
       }
     }
+    maint_.sweep_entries_scanned += victims.size() + nursery_.size();
     for (Entry* e : nursery_) {
       for (const PathCode& region : regions) {
         if (region.contains(e->item.code)) {
@@ -306,6 +317,7 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
     std::sort(victims.begin(), victims.end());
     victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
   } else {
+    maint_.sweep_entries_scanned += heap_.size();
     for (const HeapSlot& s : heap_) {
       for (const PathCode& region : regions) {
         if (region.contains(s.e->item.code)) {
@@ -321,6 +333,7 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
 std::vector<Subproblem> ActivePool::remove_if(
     const std::function<bool(const Subproblem&)>& victim) {
   std::vector<Entry*> victims;
+  maint_.sweep_entries_scanned += heap_.size();
   for (const HeapSlot& s : heap_) {
     if (victim(s.e->item)) victims.push_back(s.e);
   }
@@ -351,6 +364,7 @@ std::vector<Subproblem> ActivePool::extract_for_sharing(std::size_t k) {
                      less);
     victims.resize(k);
   }
+  maint_.share_extracted += victims.size();
   return remove_batch(victims);
 }
 

@@ -69,6 +69,33 @@ enum class SelectRule {
 
 [[nodiscard]] const char* to_string(SelectRule rule);
 
+/// Pool-maintenance work counters for the cost model (core::WorkLedger):
+/// pure observation of what the pool already does — bumping them changes no
+/// answer, no order, no layout. Per-worker pool operations run in the
+/// kernel's total event order, so these are deterministic across thread
+/// counts.
+struct PoolMaintStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::uint64_t nursery_drains = 0;    // lazy flush events
+  std::uint64_t nursery_promoted = 0;  // entries moved into the trees
+  std::uint64_t index_builds = 0;
+  std::uint64_t index_drops = 0;
+  std::uint64_t sweep_entries_scanned = 0;  // prune/covered/remove_if visits
+  std::uint64_t share_extracted = 0;
+
+  void add(const PoolMaintStats& other) {
+    pushes += other.pushes;
+    pops += other.pops;
+    nursery_drains += other.nursery_drains;
+    nursery_promoted += other.nursery_promoted;
+    index_builds += other.index_builds;
+    index_drops += other.index_drops;
+    sweep_entries_scanned += other.sweep_entries_scanned;
+    share_extracted += other.share_extracted;
+  }
+};
+
 class ActivePool {
  public:
   explicit ActivePool(SelectRule rule = SelectRule::kBestFirst);
@@ -125,6 +152,10 @@ class ActivePool {
   /// walk per entry instead of materializing covering regions) should prefer
   /// it while this is false.
   [[nodiscard]] bool indexed() const { return indexed_; }
+
+  /// Cumulative maintenance-work counters (never reset by clear(); a worker
+  /// incarnation owns its pool, so the counters are per-incarnation).
+  [[nodiscard]] const PoolMaintStats& maintenance() const { return maint_; }
 
   void clear();
 
@@ -224,6 +255,7 @@ class ActivePool {
   std::vector<std::unique_ptr<Entry>> arena_;  // owns every live + free entry
   std::vector<Entry*> free_;  // entry recycling, caps churn
   std::uint64_t next_seq_ = 0;
+  PoolMaintStats maint_;
 };
 
 }  // namespace ftbb::bnb

@@ -1,0 +1,80 @@
+// Adversarial synthetic problem whose branching factor — and per-node cost —
+// shift mid-solve (ROADMAP: "an adversarial synthetic whose branching factor
+// shifts mid-solve").
+//
+// The tree alternates depth bands of width `phase_period`: *bushy* bands
+// where every node has two live children and expansions are cheap, and
+// *skinny* bands where most nodes lose their non-preferred child (one
+// deterministic hash draw against `skinny_kill_bias`) and expansions cost
+// `cost_shift` times more. A search that tunes itself to one band's
+// granularity is immediately wrong in the next — exactly the workload the
+// cost model's EWMA + hysteresis must track without thrashing.
+//
+// Like every model here it is a pure function of the path code: node
+// identity is a splitmix64 fold over the branch steps, bounds are the
+// monotone prefix sum of per-step increments derived from that hash, and a
+// step that the kill draw removed marks the whole suffix infeasible — so
+// eval() answers consistently even for codes resurrected by failure
+// recovery's complement. The constructor enumerates the (small) tree once
+// to pin the true optimum for verification.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "bnb/problem.hpp"
+
+namespace ftbb::bnb {
+
+struct ShiftyOptions {
+  std::uint32_t depth_limit = 14;   // leaves live here
+  std::uint32_t phase_period = 4;   // band width; bands alternate bushy/skinny
+  double cost_mean = 1e-3;          // bushy-band expansion cost scale
+  double cost_shift = 8.0;          // skinny-band cost multiplier
+  double skinny_kill_bias = 0.85;   // P(non-preferred child dies) in a skinny band
+  double bound_step = 1.0;          // max per-level bound increment
+  double leaf_slack = 4.0;          // max leaf value above its bound
+};
+
+class ShiftyProblem : public IProblemModel {
+ public:
+  explicit ShiftyProblem(std::uint64_t seed, ShiftyOptions opts = {});
+
+  [[nodiscard]] double root_bound() const override { return 0.0; }
+  [[nodiscard]] NodeEval eval(const core::PathCode& code) const override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] double bound_of(const core::PathCode& code) const override;
+  [[nodiscard]] std::optional<double> known_optimal() const override {
+    return optimal_;
+  }
+
+  /// True when depth sits in a high-cost, low-branching band.
+  [[nodiscard]] bool in_skinny_band(std::size_t depth) const;
+
+  // Introspection for tests and benches (full-enumeration totals).
+  [[nodiscard]] std::uint64_t total_nodes() const { return total_nodes_; }
+  [[nodiscard]] std::uint64_t total_leaves() const { return total_leaves_; }
+  [[nodiscard]] double total_cost() const { return total_cost_; }
+
+ private:
+  struct NodeInfo {
+    double bound = 0.0;
+    std::uint64_t hash = 0;
+    bool dead = false;  // some step along the path was a killed branch
+  };
+  [[nodiscard]] NodeInfo info_of(const core::PathCode& code) const;
+  [[nodiscard]] NodeInfo child_info(const NodeInfo& parent, std::size_t parent_depth,
+                                    std::uint32_t var, std::uint8_t bit) const;
+  [[nodiscard]] double node_cost(std::size_t depth, std::uint64_t hash) const;
+  void enumerate(const NodeInfo& node, std::size_t depth);
+
+  std::uint64_t seed_;
+  ShiftyOptions opts_;
+  double optimal_ = kInfinity;
+  std::uint64_t total_nodes_ = 0;
+  std::uint64_t total_leaves_ = 0;
+  double total_cost_ = 0.0;
+};
+
+}  // namespace ftbb::bnb

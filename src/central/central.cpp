@@ -428,6 +428,13 @@ CentralResult CentralSim::run_with_faults(
   result.reissues = sim.reissues;
   result.manager_restarts = sim.manager_restarts;
   result.net = sim.net->stats();
+  // Coarse work-mix ledger from the already-deterministic aggregates.
+  result.work[core::WorkItem::kExpansions] = result.total_expanded;
+  result.work[core::WorkItem::kRedundantExpansions] = result.redundant_expansions;
+  result.work[core::WorkItem::kMsgsSent] = result.net.messages_sent;
+  result.work[core::WorkItem::kMsgsReceived] = result.net.messages_delivered;
+  result.work[core::WorkItem::kWireBytesSent] = result.net.bytes_sent;
+  result.work[core::WorkItem::kWireBytesReceived] = result.net.bytes_delivered;
   return result;
 }
 

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bnb/problem.hpp"
+#include "core/cost_model.hpp"
 #include "core/frame.hpp"
 #include "sim/network.hpp"
 
@@ -77,6 +78,10 @@ struct CentralResult {
   std::uint64_t reissues = 0;
   std::uint64_t manager_restarts = 0;
   sim::Network::Stats net;
+  /// Coarse work-mix ledger (expansions, redundancy, wire traffic). The
+  /// baseline has no per-worker protocol counters, so the finer-grained
+  /// WorkItem entries stay zero by design.
+  core::WorkLedger work;
 };
 
 class CentralSim {

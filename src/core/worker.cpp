@@ -43,6 +43,11 @@ BnbWorker::BnbWorker(NodeId id, const bnb::IProblemModel* model, WorkerConfig co
   FTBB_CHECK(env_ != nullptr);
   FTBB_CHECK(config_.report_fanout >= 1);
   FTBB_CHECK(config_.grant_divisor >= 1);
+  controller_.configure(
+      config_.cost_model, config_.work_request_timeout, config_.idle_backoff,
+      config_.report_flush_interval, config_.report_batch,
+      static_cast<double>(config_.report_fanout) *
+          (config_.costs.send_fixed + config_.costs.recv_fixed));
 }
 
 void BnbWorker::on_start(bool with_root) {
@@ -118,6 +123,7 @@ void BnbWorker::expand(const bnb::Subproblem& p) {
   env_->charge(CostKind::kBB, eval.cost);
   env_->note_expansion(p.code, eval.cost);
   observe_cost(eval.cost);
+  controller_.observe(eval.cost);
   ++stats_.expanded;
 
   if (eval.feasible_leaf) {
@@ -163,6 +169,7 @@ void BnbWorker::complete(const PathCode& code) {
   last_local_completion_ = code;
   env_->note_completion(code);
   const CodeSet::InsertResult r = table_.insert(code);
+  note_contraction(1, static_cast<std::uint64_t>(r.nodes_walked + r.merges));
   env_->charge(CostKind::kContraction,
                config_.costs.contract_per_code +
                    config_.costs.contract_per_node * (r.nodes_walked + r.merges));
@@ -178,7 +185,7 @@ void BnbWorker::complete(const PathCode& code) {
   }
   note_progress();
   fresh_.push_back(code);
-  if (fresh_.size() >= config_.report_batch) {
+  if (fresh_.size() >= effective_report_batch()) {
     send_report();
   } else {
     arm_flush_timer();
@@ -246,6 +253,7 @@ void BnbWorker::send_report() {
     for (const PathCode& c : fresh_) {
       std::optional<PathCode> covering = table_.covering_code(c);
       codes.push_back(covering.has_value() ? std::move(*covering) : c);
+      note_contraction(0, c.depth() + 1);
       env_->charge(CostKind::kContraction,
                    config_.costs.contract_per_node * static_cast<double>(c.depth() + 1));
     }
@@ -255,6 +263,8 @@ void BnbWorker::send_report() {
     // Paper-literal scheme: contract the list against itself only.
     CodeSet tmp;
     const CodeSet::InsertResult r = tmp.insert_all(fresh_);
+    note_contraction(fresh_.size(),
+                     static_cast<std::uint64_t>(r.nodes_walked + r.merges));
     env_->charge(CostKind::kContraction,
                  config_.costs.contract_per_code * static_cast<double>(fresh_.size()) +
                      config_.costs.contract_per_node * (r.nodes_walked + r.merges));
@@ -291,6 +301,7 @@ void BnbWorker::send_table_gossip() {
   m.best_known = incumbent_;
   m.codes = table_.export_codes();
   m.report_seq = ++report_batches_;
+  note_contraction(0, table_.trie_nodes());
   env_->charge(CostKind::kContraction,
                config_.costs.contract_per_node * static_cast<double>(table_.trie_nodes()));
   env_->send(peers[env_->rng().pick(peers.size())], m);
@@ -343,6 +354,7 @@ void BnbWorker::observe_cost(double cost) {
 }
 
 double BnbWorker::effective_request_timeout() const {
+  if (config_.model_adaptivity) return controller_.request_timeout();
   if (!config_.adaptive_timeouts || cost_ewma_ == 0.0) {
     return config_.work_request_timeout;
   }
@@ -351,16 +363,23 @@ double BnbWorker::effective_request_timeout() const {
 }
 
 double BnbWorker::effective_backoff() const {
+  if (config_.model_adaptivity) return controller_.backoff();
   if (!config_.adaptive_timeouts || cost_ewma_ == 0.0) return config_.idle_backoff;
   return std::max(config_.idle_backoff, config_.adaptive_backoff_factor * cost_ewma_);
 }
 
 double BnbWorker::effective_flush_interval() const {
+  if (config_.model_adaptivity) return controller_.flush_interval();
   if (!config_.adaptive_timeouts || cost_ewma_ == 0.0) {
     return config_.report_flush_interval;
   }
   return std::max(config_.report_flush_interval,
                   config_.adaptive_flush_factor * cost_ewma_);
+}
+
+std::uint32_t BnbWorker::effective_report_batch() const {
+  if (config_.model_adaptivity) return controller_.report_batch();
+  return config_.report_batch;
 }
 
 bool BnbWorker::stalled() const {
@@ -409,6 +428,7 @@ void BnbWorker::handle_work_request(const Message& msg) {
   if (pool_.size() >= config_.min_pool_to_grant) {
     std::size_t k = std::max<std::size_t>(pool_.size() / config_.grant_divisor, 1);
     k = std::min<std::size_t>(k, config_.max_grant_problems);
+    if (config_.model_adaptivity) k = controller_.grant_size(k);
     reply.type = MsgType::kWorkGrant;
     reply.problems = pool_.extract_for_sharing(k);
     env_->charge(CostKind::kLoadBalance,
@@ -513,6 +533,7 @@ void BnbWorker::recover() {
   failed_attempts_ = 0;
   deny_streak_ = 0;
   std::vector<PathCode> candidates = table_.complement();
+  note_contraction(0, table_.trie_nodes());
   env_->charge(CostKind::kContraction,
                config_.costs.contract_per_node * static_cast<double>(table_.trie_nodes()));
   if (candidates.empty()) {
@@ -540,6 +561,48 @@ void BnbWorker::recover() {
     break;
   }
   continue_work();
+}
+
+// ---------------------------------------------------------------------------
+// Work accounting
+// ---------------------------------------------------------------------------
+
+WorkLedger BnbWorker::work_snapshot() const {
+  WorkLedger w = ledger_;  // contraction codes/nodes accumulate in place
+  w[WorkItem::kExpansions] = stats_.expanded;
+  w[WorkItem::kEliminated] = stats_.eliminated;
+  w[WorkItem::kDeadEnds] = stats_.dead_ends;
+  w[WorkItem::kFeasibleLeaves] = stats_.feasible_leaves;
+  w[WorkItem::kCompletions] = stats_.completions;
+  w[WorkItem::kCoveredSkips] = stats_.covered_skips;
+  w[WorkItem::kReportsSent] = stats_.reports_sent;
+  w[WorkItem::kReportCodesSent] = stats_.report_codes_sent;
+  w[WorkItem::kTableGossipsSent] = stats_.table_gossips_sent;
+  w[WorkItem::kMsgsSent] = stats_.msgs_sent;
+  w[WorkItem::kMsgsReceived] = stats_.msgs_received;
+  w[WorkItem::kWireBytesSent] = stats_.bytes_sent;
+  w[WorkItem::kWireBytesReceived] = stats_.bytes_received;
+  w[WorkItem::kWorkRequestsSent] = stats_.work_requests_sent;
+  w[WorkItem::kGrantsReceived] = stats_.grants_received;
+  w[WorkItem::kDeniesReceived] = stats_.denies_received;
+  w[WorkItem::kRequestTimeouts] = stats_.request_timeouts;
+  w[WorkItem::kGrantsGiven] = stats_.grants_given;
+  w[WorkItem::kProblemsGiven] = stats_.problems_given;
+  w[WorkItem::kRecoveries] = stats_.recoveries;
+  w[WorkItem::kIncumbentUpdates] = stats_.incumbent_updates;
+  w[WorkItem::kIncarnations] = 1;
+  const bnb::PoolMaintStats& pm = pool_.maintenance();
+  w[WorkItem::kPoolPushes] = pm.pushes;
+  w[WorkItem::kPoolPops] = pm.pops;
+  w[WorkItem::kNurseryDrains] = pm.nursery_drains;
+  w[WorkItem::kNurseryPromoted] = pm.nursery_promoted;
+  w[WorkItem::kIndexBuilds] = pm.index_builds;
+  w[WorkItem::kIndexDrops] = pm.index_drops;
+  w[WorkItem::kSweepEntriesScanned] = pm.sweep_entries_scanned;
+  w[WorkItem::kShareExtracted] = pm.share_extracted;
+  w[WorkItem::kControllerRetunes] = controller_.retunes();
+  for (int k = 0; k < kCostKinds; ++k) w.seconds[k] = stats_.time[k];
+  return w;
 }
 
 // ---------------------------------------------------------------------------
@@ -584,6 +647,8 @@ void BnbWorker::on_message(const Message& msg) {
     case MsgType::kTableGossip:
     case MsgType::kRootReport: {
       const CodeSet::InsertResult r = table_.insert_all(msg.codes);
+      note_contraction(msg.codes.size(),
+                       static_cast<std::uint64_t>(r.nodes_walked + r.merges));
       env_->charge(CostKind::kContraction,
                    config_.costs.contract_per_code * static_cast<double>(msg.codes.size()) +
                        config_.costs.contract_per_node * (r.nodes_walked + r.merges));

@@ -26,6 +26,7 @@
 #include "bnb/pool.hpp"
 #include "bnb/problem.hpp"
 #include "core/code_set.hpp"
+#include "core/cost_model.hpp"
 #include "core/messages.hpp"
 #include "core/path_code.hpp"
 #include "support/rng.hpp"
@@ -155,6 +156,17 @@ struct WorkerConfig {
   double adaptive_backoff_factor = 0.5;
   double adaptive_flush_factor = 25.0;
   double cost_ewma_alpha = 0.1;
+
+  /// Cost-model-driven adaptivity (supersedes adaptive_timeouts; keep both
+  /// so benches can compare the schemes). When enabled the CostController
+  /// steers the request timeout, report batch, and grant sizing from the
+  /// EWMA-smoothed expansion cost with hysteresis — and deliberately leaves
+  /// the idle backoff and flush interval at their configured base (see
+  /// cost_model.hpp for why that asymmetry recovers the efficiency the
+  /// adaptive_timeouts scheme loses). Takes precedence over
+  /// adaptive_timeouts when both are set.
+  bool model_adaptivity = false;
+  CostModelConfig cost_model;
 
   // --- fault tolerance ---
   RecoveryPolicy recovery = RecoveryPolicy::kNearLastLocal;
@@ -298,6 +310,14 @@ class BnbWorker {
   [[nodiscard]] WorkerStats& stats() { return stats_; }
   [[nodiscard]] const WorkerConfig& config() const { return config_; }
   [[nodiscard]] std::size_t fresh_count() const { return fresh_.size(); }
+  [[nodiscard]] const CostController& controller() const { return controller_; }
+
+  /// The incarnation's work ledger, composed on demand from the stats block,
+  /// the worker-internal contraction counters, and the pool's maintenance
+  /// counters. Counts one incarnation; harnesses add() snapshots across
+  /// lives and workers (in canonical id order) and fill the redundant-work
+  /// fields from their canonical-order expansion merge.
+  [[nodiscard]] WorkLedger work_snapshot() const;
 
  private:
   // -- scheduling --
@@ -373,6 +393,18 @@ class BnbWorker {
   [[nodiscard]] double effective_request_timeout() const;
   [[nodiscard]] double effective_backoff() const;
   [[nodiscard]] double effective_flush_interval() const;
+  [[nodiscard]] std::uint32_t effective_report_batch() const;
+
+  // Cost-model state (see WorkerConfig::model_adaptivity). The controller
+  // observes every expansion regardless of mode (observation is free and
+  // keeps the ledger's retune counter meaningful in benches); its outputs
+  // steer the worker only when model_adaptivity is set.
+  CostController controller_;
+  WorkLedger ledger_;  // worker-internal counters (contraction work)
+  void note_contraction(std::uint64_t codes, std::uint64_t nodes) {
+    ledger_[WorkItem::kContractionCodes] += codes;
+    ledger_[WorkItem::kContractionNodes] += nodes;
+  }
 
   // Stall detection (see WorkerConfig::stall_recovery_factor).
   double last_progress_ = 0.0;

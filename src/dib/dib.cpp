@@ -431,6 +431,16 @@ DibResult DibSim::run_with_faults(const bnb::IProblemModel& model,
   result.redundant_expansions = result.total_expanded - result.unique_expanded;
   result.net = sim.net->stats();
   for (const auto& m : sim.machines) result.expanded_per_machine.push_back(m->expanded);
+  // Coarse work-mix ledger from the already-deterministic aggregates
+  // (donations map onto the grant counters).
+  result.work[core::WorkItem::kExpansions] = result.total_expanded;
+  result.work[core::WorkItem::kRedundantExpansions] = result.redundant_expansions;
+  result.work[core::WorkItem::kGrantsGiven] = result.donations;
+  result.work[core::WorkItem::kRecoveries] = result.donation_redos;
+  result.work[core::WorkItem::kMsgsSent] = result.net.messages_sent;
+  result.work[core::WorkItem::kMsgsReceived] = result.net.messages_delivered;
+  result.work[core::WorkItem::kWireBytesSent] = result.net.bytes_sent;
+  result.work[core::WorkItem::kWireBytesReceived] = result.net.bytes_delivered;
   return result;
 }
 

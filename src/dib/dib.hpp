@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bnb/problem.hpp"
+#include "core/cost_model.hpp"
 #include "core/frame.hpp"
 #include "sim/network.hpp"
 
@@ -77,6 +78,9 @@ struct DibResult {
   std::uint64_t donation_redos = 0;  // audit decided to redo a donation
   sim::Network::Stats net;
   std::vector<std::uint64_t> expanded_per_machine;
+  /// Coarse work-mix ledger (expansions, redundancy, donations as grants,
+  /// wire traffic); finer WorkItem entries stay zero by design.
+  core::WorkLedger work;
 };
 
 class DibSim {

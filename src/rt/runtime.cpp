@@ -323,6 +323,15 @@ class WorkerHost {
     return total;
   }
 
+  /// Work ledger across all incarnations, mirroring SimCluster's
+  /// merged_ledger (kIncarnations counts one per life).
+  [[nodiscard]] core::WorkLedger merged_ledger() const {
+    core::WorkLedger total;
+    for (const auto& inc : retired_) total.add(inc->worker().work_snapshot());
+    if (current_) total.add(current_->worker().work_snapshot());
+    return total;
+  }
+
   void merge_expansions(ExpansionMap& into) const {
     for (const auto& inc : retired_) {
       for (const auto& [code, count] : inc->expansions()) into[code] += count;
@@ -730,6 +739,8 @@ RtResult RtCluster::run() {
   ExpansionMap merged;
   for (auto& host : hosts_) {
     result.workers.push_back(host->merged_stats());
+    result.worker_ledgers.push_back(host->merged_ledger());
+    result.work.add(result.worker_ledgers.back());
     result.crashed.push_back(host->ever_crashed());
     result.incarnations_per_worker.push_back(host->incarnation_count());
     result.report_streams_per_worker.push_back(host->report_streams());
@@ -753,6 +764,7 @@ RtResult RtCluster::run() {
   }
   result.unique_expanded = merged.size();
   result.redundant_expansions = result.total_expanded - result.unique_expanded;
+  result.work[core::WorkItem::kRedundantExpansions] = result.redundant_expansions;
   result.net.messages_sent = net_sent_.load();
   result.net.messages_delivered = net_delivered_.load();
   result.net.messages_lost = net_lost_.load();

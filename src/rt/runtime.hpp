@@ -86,6 +86,11 @@ struct RtResult {
   /// Per member, merged across every incarnation (crashed incarnations'
   /// spend included), mirroring SimCluster's per-incarnation merge.
   std::vector<core::WorkerStats> workers;
+  /// Per-member work ledgers (all incarnations folded, member order) and
+  /// their member-order aggregate. Real threads make the *values*
+  /// nondeterministic run to run; the composition mirrors SimCluster's.
+  std::vector<core::WorkLedger> worker_ledgers;
+  core::WorkLedger work;
   std::vector<bool> crashed;  // ever crash-injected
   std::vector<std::uint32_t> incarnations_per_worker;
   /// Per member: incarnations that opened a v1 report delta chain (sent at

@@ -68,6 +68,14 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
     return total;
   }
 
+  /// Work ledger across all incarnations (crashed lives folded first, like
+  /// merged_stats; kIncarnations counts one per life).
+  [[nodiscard]] core::WorkLedger merged_ledger() const {
+    core::WorkLedger total = prior_ledger_;
+    total.add(worker_->work_snapshot());
+    return total;
+  }
+
   /// One-shot removal from the set of workers that must halt for the run to
   /// be considered finished (crash, or a join that can never happen).
   void leave_live_set() {
@@ -107,6 +115,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   void revive() {
     FTBB_CHECK(!alive_);
     prior_stats_.add(worker_->stats());
+    prior_ledger_.add(worker_->work_snapshot());
     ++epoch_;
     alive_ = true;
     started_ = true;
@@ -338,6 +347,7 @@ class SimCluster::WorkerHost final : public core::IWorkerEnv {
   support::Rng rng_;
   std::optional<core::BnbWorker> worker_;  // re-emplaced on revival
   core::WorkerStats prior_stats_;          // spent by crashed incarnations
+  core::WorkLedger prior_ledger_;          // ditto, work-mix counters
   std::uint64_t epoch_ = 0;                // incarnation counter
 
   bool alive_ = true;
@@ -529,6 +539,8 @@ ClusterResult SimCluster::collect() {
     const core::BnbWorker& w = host->worker();
     const core::WorkerStats merged = host->merged_stats();
     res.workers.push_back(merged);
+    res.worker_ledgers.push_back(host->merged_ledger());
+    res.work.add(res.worker_ledgers.back());
     res.crashed.push_back(!host->alive());
     res.incumbents.push_back(w.incumbent());
     if (host->alive()) {
@@ -584,6 +596,8 @@ ClusterResult SimCluster::collect() {
     redundant_cost += static_cast<double>(record->count - 1) * record->cost;
   }
   res.redundant_cost = redundant_cost;
+  res.work[core::WorkItem::kRedundantExpansions] = res.redundant_expansions;
+  res.work.redundant_seconds = res.redundant_cost;
 
   res.peak_table_bytes_total = peak_total_bytes_;
   res.peak_table_bytes_unique = peak_unique_bytes_;

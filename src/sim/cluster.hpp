@@ -140,6 +140,9 @@ struct ClusterResult {
 
   // -- per worker --
   std::vector<core::WorkerStats> workers;
+  /// Per-worker work ledgers, all incarnations folded (host-id order, so
+  /// aggregation is canonical across executors and thread counts).
+  std::vector<core::WorkLedger> worker_ledgers;
   std::vector<bool> crashed;
   /// Final incumbent of each worker (+inf if none). The correctness theorem
   /// says every live worker that detected termination holds exactly the
@@ -154,6 +157,11 @@ struct ClusterResult {
   double redundant_cost = 0.0;             // virtual seconds spent re-expanding
   std::uint64_t total_completions = 0;
   std::uint64_t total_report_codes = 0;    // compression numerator
+
+  /// Cluster-wide work-mix ledger: per-worker ledgers summed in host-id
+  /// order, redundant-work fields filled from the canonical-order expansion
+  /// merge. Bit-identical sequential vs sharded.
+  core::WorkLedger work;
 
   // -- storage (Table 1) --
   std::size_t peak_table_bytes_total = 0;   // sum of all live tables at peak

@@ -7,6 +7,7 @@
 #include "bnb/basic_tree.hpp"
 #include "bnb/knapsack.hpp"
 #include "bnb/partition.hpp"
+#include "bnb/shifty.hpp"
 #include "bnb/vertex_cover.hpp"
 #include "rt/runtime.hpp"
 #include "support/check.hpp"
@@ -109,6 +110,7 @@ ScenarioReport run_ftbb(const ScenarioSpec& spec,
   report.unique_expanded = res.unique_expanded;
   report.redundant_expansions = res.redundant_expansions;
   report.redundant_cost = res.redundant_cost;
+  report.work_mix = res.work;
   fill_net(report, res.net);
   finish(report);
   return report;
@@ -149,6 +151,7 @@ ScenarioReport run_central(const ScenarioSpec& spec,
   report.total_expanded = res.total_expanded;
   report.unique_expanded = res.unique_expanded;
   report.redundant_expansions = res.redundant_expansions;
+  report.work_mix = res.work;
   fill_net(report, res.net);
   finish(report);
   return report;
@@ -185,6 +188,7 @@ ScenarioReport run_dib(const ScenarioSpec& spec,
   report.total_expanded = res.total_expanded;
   report.unique_expanded = res.unique_expanded;
   report.redundant_expansions = res.redundant_expansions;
+  report.work_mix = res.work;
   fill_net(report, res.net);
   finish(report);
   return report;
@@ -214,6 +218,7 @@ ScenarioReport run_rt(const ScenarioSpec& spec,
   report.total_expanded = res.total_expanded;
   report.unique_expanded = res.unique_expanded;
   report.redundant_expansions = res.redundant_expansions;
+  report.work_mix = res.work;
   report.messages_sent = res.net.messages_sent;
   report.messages_delivered = res.net.messages_delivered;
   report.messages_lost = res.net.messages_lost;
@@ -250,6 +255,8 @@ const char* to_string(WorkloadKind kind) {
       return "number-partition";
     case WorkloadKind::kSyntheticTree:
       return "synthetic-tree";
+    case WorkloadKind::kShifty:
+      return "shifty";
   }
   return "?";
 }
@@ -287,6 +294,13 @@ Workload build_workload(const WorkloadSpec& spec) {
       auto tree = std::make_shared<bnb::BasicTree>(bnb::BasicTree::random(cfg));
       w.model = std::make_unique<bnb::TreeProblem>(tree.get());
       w.storage = tree;
+      break;
+    }
+    case WorkloadKind::kShifty: {
+      bnb::ShiftyOptions opts;
+      opts.depth_limit = spec.size;
+      opts.cost_mean = spec.cost_mean;
+      w.model = std::make_unique<bnb::ShiftyProblem>(spec.seed, opts);
       break;
     }
   }
@@ -382,6 +396,12 @@ std::string ScenarioReport::to_string() const {
   for (const ScenarioEvent& e : timeline) {
     std::snprintf(buf, sizeof(buf), "  t=%.3f %s: %s\n", e.time,
                   sim::to_string(e.kind), e.detail.c_str());
+    out += buf;
+  }
+  if (work_mix.has_value()) {
+    out += "  " + work_mix->to_string() + "\n";
+    std::snprintf(buf, sizeof(buf), "  work-mix fingerprint: %016llx\n",
+                  static_cast<unsigned long long>(work_mix->fingerprint()));
     out += buf;
   }
   std::snprintf(buf, sizeof(buf), "  fingerprint: %016llx\n",

@@ -43,6 +43,7 @@ enum class WorkloadKind : std::uint8_t {
   kVertexCover = 1,
   kNumberPartition = 2,
   kSyntheticTree = 3,
+  kShifty = 4,  // adversarial mid-solve branching-factor shift (bnb/shifty.hpp)
 };
 
 [[nodiscard]] const char* to_string(WorkloadKind kind);
@@ -151,9 +152,16 @@ struct ScenarioReport {
   // -- fault schedule, time-ordered --
   std::vector<ScenarioEvent> timeline;
 
-  /// FNV-1a over every field above (doubles by bit pattern): two reports
-  /// are byte-equivalent iff their fingerprints match, so a single integer
-  /// per (scenario, seed) is a regression artifact.
+  /// Cluster-wide work-mix ledger (cost-model counters), filled by every
+  /// backend. Deliberately EXCLUDED from fingerprint() so pinned golden
+  /// fingerprints predate the cost model; the ledger carries its own
+  /// fingerprint (WorkLedger::fingerprint) for its own goldens.
+  std::optional<core::WorkLedger> work_mix;
+
+  /// FNV-1a over every field above except work_mix (doubles by bit
+  /// pattern): two reports are byte-equivalent iff their fingerprints
+  /// match, so a single integer per (scenario, seed) is a regression
+  /// artifact.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
   /// Multi-line human-readable report.

@@ -80,6 +80,10 @@ TEST(Equivalence, SyntheticTreeUnderLossyPlan) {
   expect_equivalent(WorkloadKind::kSyntheticTree, 401, 12);
 }
 
+TEST(Equivalence, ShiftyUnderLossyPlan) {
+  expect_equivalent(WorkloadKind::kShifty, 12, 13);
+}
+
 // ---------------------------------------------------------------------------
 // Cross-substrate corpus agreement: every named FaultPlan replays on the rt
 // backend through the same ScenarioRunner entry point, and rt agrees with

@@ -117,7 +117,8 @@ TEST(Scenario, CombinedAdversityCompletesWithAllFaultKinds) {
 TEST(Scenario, WorkloadsAllRunUnderLoss) {
   for (const WorkloadKind kind :
        {WorkloadKind::kKnapsack, WorkloadKind::kVertexCover,
-        WorkloadKind::kNumberPartition, WorkloadKind::kSyntheticTree}) {
+        WorkloadKind::kNumberPartition, WorkloadKind::kSyntheticTree,
+        WorkloadKind::kShifty}) {
     ScenarioSpec spec = base_spec("workload-sweep", Backend::kFtbb, 41);
     spec.workload.kind = kind;
     spec.workload.size = kind == WorkloadKind::kSyntheticTree ? 401
@@ -126,6 +127,28 @@ TEST(Scenario, WorkloadsAllRunUnderLoss) {
     spec.faults.loss(0.0, 1e9, 0.05).crash(3, 0.05);
     const ScenarioReport report = ScenarioRunner::run(spec);
     expect_solved(report);
+  }
+}
+
+TEST(Scenario, ShiftyAdversaryCompletesAndMatchesGolden) {
+  // The adversarial workload whose branching factor and node cost shift
+  // mid-solve, under loss + a bounce. Golden fingerprint pinned with the
+  // same discipline as the named-plan corpus below.
+  ScenarioSpec spec = base_spec("shifty-adversary", Backend::kFtbb, 71);
+  spec.workload.kind = WorkloadKind::kShifty;
+  spec.workload.size = 12;
+  spec.faults.loss(0.0, 1e9, 0.05).bounce(2, 0.05, 0.2);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  constexpr std::uint64_t kGolden = 0x92fea02cd9f7207bULL;
+  EXPECT_EQ(report.fingerprint(), kGolden)
+      << "actual 0x" << std::hex << report.fingerprint() << "\n"
+      << report.to_string();
+  for (const std::uint32_t threads : {2u, 4u}) {
+    ScenarioSpec sharded = spec;
+    sharded.sim_threads = threads;
+    EXPECT_EQ(ScenarioRunner::run(sharded).fingerprint(), kGolden)
+        << "with " << threads << " threads";
   }
 }
 
