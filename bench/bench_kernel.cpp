@@ -1,0 +1,229 @@
+// Microbenchmark: the event engine's data plane — ladder EventQueue with
+// InlineCallback versus the seed binary heap with std::function — at
+// 10^4 … 10^7 pending events. Writes BENCH_kernel.json.
+//
+// Two workloads per (queue, population):
+//
+//   * schedule_dispatch: the kernel's steady state. Hold the population
+//     constant and, per operation, pop the earliest event, run it, and
+//     schedule a replacement at now + exp-ish offset. On the seed heap this
+//     is O(log n) sift per op plus a malloc/free pair per std::function; on
+//     the ladder it is O(1) amortized band append plus zero allocations for
+//     inline-sized captures. The ISSUE gate is that this curve is flat
+//     (O(1)) across 10^4..10^7 while the heap's drifts up with log n.
+//   * bytes/event and allocs/event: global operator new/delete are
+//     instrumented in this binary; prefill measures bytes per pending event
+//     (node + callback storage), the warm churn window measures allocations
+//     per schedule+dispatch cycle (the inline SBO contract says 0 for the
+//     ladder).
+//
+// `--smoke` runs 10^4..10^5 only with short windows — the CI perf-smoke job
+// uses it as a build-and-run gate, not a perf assertion.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "bench/bench_timing.hpp"
+#include "bench/legacy_event_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+// --- instrumented global allocator (this binary only) -----------------------
+
+namespace {
+std::uint64_t g_alloc_calls = 0;
+std::uint64_t g_alloc_bytes = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_alloc_calls;
+  g_alloc_bytes += size;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_alloc_calls;
+  g_alloc_bytes += size;
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace {
+
+using namespace ftbb;
+using bench::LegacyEventQueue;
+using bench::measure;
+using sim::EventNode;
+using sim::EventQueue;
+using sim::OwnerId;
+
+/// The capture every hot-path closure resembles: a couple of pointers and a
+/// few words of state — 24 bytes, inside InlineCallback's 64-byte buffer and
+/// outside std::function's ~16-byte SBO, so the seed heap pays a malloc per
+/// schedule and the ladder pays none.
+struct HotCapture {
+  std::uint64_t* sink;
+  std::uint64_t a;
+  double b;
+  void operator()() const { *sink += a + static_cast<std::uint64_t>(b); }
+};
+
+/// Drives either queue through the same hold-population churn. The two
+/// specializations differ only in how an event is popped/recycled.
+struct LadderDriver {
+  EventQueue q;
+  double now = 0.0;
+  void push(double t, std::uint64_t seq, HotCapture cb) {
+    q.push(t, static_cast<OwnerId>(seq % 7), seq, 0, cb);
+  }
+  void step(std::uint64_t seq, support::Rng& rng, std::uint64_t* sink) {
+    EventNode* ev = q.pop();
+    now = ev->t;
+    ev->fn();
+    q.recycle(ev);
+    push(now + rng.uniform(0.0, 10.0), seq, HotCapture{sink, seq, now});
+  }
+  [[nodiscard]] std::size_t memory_bytes() const { return q.memory_bytes(); }
+};
+
+struct HeapDriver {
+  LegacyEventQueue q;
+  double now = 0.0;
+  void push(double t, std::uint64_t seq, HotCapture cb) {
+    q.push(t, static_cast<OwnerId>(seq % 7), seq, 0, cb);
+  }
+  void step(std::uint64_t seq, support::Rng& rng, std::uint64_t* sink) {
+    LegacyEventQueue::Event ev = q.pop();
+    now = ev.t;
+    ev.fn();
+    push(now + rng.uniform(0.0, 10.0), seq, HotCapture{sink, seq, now});
+  }
+  [[nodiscard]] std::size_t memory_bytes() const { return q.memory_bytes(); }
+};
+
+struct QueueResult {
+  const char* queue;
+  double ops_per_sec = 0.0;
+  double bytes_per_event = 0.0;   // storage bytes per pending event at prefill
+  double allocs_per_event = 0.0;  // warm-churn mallocs per schedule+dispatch
+  std::size_t memory_bytes = 0;   // queue-visible structure bytes
+};
+
+template <typename Driver>
+QueueResult run_queue(const char* name, std::size_t n, double window) {
+  Driver d;
+  support::Rng rng(0xC0FFEE);
+  std::uint64_t sink = 0;
+  std::uint64_t seq = 0;
+
+  const std::uint64_t bytes_before = g_alloc_bytes;
+  // Prefill over the SAME horizon the churn schedules into (now + U[0,10)) so
+  // the pending-set geometry is stationary — rung spans and bucket vector
+  // capacities converge during warm-up instead of chasing a thinning tail of
+  // far-future prefill events for the whole run.
+  for (std::size_t i = 0; i < n; ++i) {
+    d.push(rng.uniform(0.0, 10.0), seq, HotCapture{&sink, seq, 0.0});
+    ++seq;
+  }
+  const double bytes_per_event =
+      static_cast<double>(g_alloc_bytes - bytes_before) /
+      static_cast<double>(n);
+
+  // Warm up: cycle the full population (with a floor, so small populations
+  // still see enough reband cycles) so slabs, rungs, bucket vectors, and (for
+  // the heap) the allocator's size classes reach steady state.
+  const std::uint64_t warm_ops = std::max<std::uint64_t>(n, 200000);
+  for (std::uint64_t i = 0; i < warm_ops; ++i) d.step(seq++, rng, &sink);
+
+  const std::uint64_t churn_ops = 2 * n;
+  const std::uint64_t allocs_before = g_alloc_calls;
+  for (std::uint64_t i = 0; i < churn_ops; ++i) d.step(seq++, rng, &sink);
+  const double allocs_per_event =
+      static_cast<double>(g_alloc_calls - allocs_before) /
+      static_cast<double>(churn_ops);
+
+  const double ops = measure(window, 1.0, [&] { d.step(seq++, rng, &sink); });
+  if (sink == 0xFFFFFFFFFFFFFFFFULL) std::printf("x");  // keep sink live
+
+  return QueueResult{name, ops, bytes_per_event, allocs_per_event,
+                     d.memory_bytes()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const double window = smoke ? 0.05 : 0.5;
+  std::vector<std::size_t> sizes = {10000, 100000};
+  if (!smoke) {
+    sizes.push_back(1000000);
+    sizes.push_back(10000000);
+  }
+  std::printf("kernel microbench: ladder+InlineCallback vs seed "
+              "heap+std::function%s\n\n",
+              smoke ? " [smoke]" : "");
+
+  struct SizeResult {
+    std::size_t pending;
+    QueueResult heap;
+    QueueResult ladder;
+  };
+  std::vector<SizeResult> all;
+  for (const std::size_t n : sizes) {
+    SizeResult sr{n,
+                  run_queue<HeapDriver>("heap", n, window),
+                  run_queue<LadderDriver>("ladder", n, window)};
+    all.push_back(sr);
+  }
+
+  support::TextTable table({"pending", "queue", "sched+disp (ev/s)",
+                            "bytes/event", "allocs/event", "speedup"});
+  for (const SizeResult& sr : all) {
+    for (const QueueResult* r : {&sr.heap, &sr.ladder}) {
+      table.row({support::TextTable::num(static_cast<double>(sr.pending), 0),
+                 r->queue, support::TextTable::num(r->ops_per_sec, 0),
+                 support::TextTable::num(r->bytes_per_event, 1),
+                 support::TextTable::num(r->allocs_per_event, 3),
+                 r == &sr.ladder
+                     ? support::TextTable::num(
+                           sr.ladder.ops_per_sec / sr.heap.ops_per_sec, 2)
+                     : std::string("-")});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  FILE* json = bench::open_bench_json("BENCH_kernel.json", "kernel");
+  if (json == nullptr) return 1;
+  std::fprintf(json, "  \"smoke\": %s,\n  \"sizes\": [\n",
+               smoke ? "true" : "false");
+  for (std::size_t s = 0; s < all.size(); ++s) {
+    const SizeResult& sr = all[s];
+    std::fprintf(json, "    {\"pending\": %zu, \"queues\": [\n", sr.pending);
+    for (const QueueResult* r : {&sr.heap, &sr.ladder}) {
+      std::fprintf(
+          json,
+          "      {\"queue\": \"%s\", \"schedule_dispatch_per_sec\": %.0f, "
+          "\"bytes_per_event\": %.1f, \"allocs_per_event\": %.4f, "
+          "\"memory_bytes\": %zu}%s\n",
+          r->queue, r->ops_per_sec, r->bytes_per_event, r->allocs_per_event,
+          r->memory_bytes, r == &sr.heap ? "," : "");
+    }
+    std::fprintf(json, "    ]}%s\n", s + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote BENCH_kernel.json\n");
+  return 0;
+}

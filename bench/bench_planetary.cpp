@@ -41,6 +41,14 @@ struct VariantResult {
   const char* name;
   std::uint32_t threads = 1;
   bool per_channel = false;
+  /// How dispatch windows are bounded: "none" (sequential — no windows),
+  /// "global-barrier" (conservative global lookahead), or "per-channel"
+  /// (pairwise channel lookahead). Recorded in BENCH_planetary.json so the
+  /// artifact says which windowing produced each throughput number.
+  [[nodiscard]] const char* window_mode() const {
+    if (threads <= 1) return "none";
+    return per_channel ? "per-channel" : "global-barrier";
+  }
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
   // Identity probes: every variant of one row must agree bit-for-bit.
@@ -193,9 +201,10 @@ int main(int argc, char** argv) {
       const VariantResult& vr = row.variants[v];
       std::fprintf(json,
                    "      {\"name\": \"%s\", \"threads\": %u, "
+                   "\"window_mode\": \"%s\", "
                    "\"kernel_events\": %llu, \"wall_seconds\": %.4f, "
                    "\"events_per_sec\": %.0f}%s\n",
-                   vr.name, vr.threads,
+                   vr.name, vr.threads, vr.window_mode(),
                    static_cast<unsigned long long>(vr.kernel_events),
                    vr.wall_seconds, vr.events_per_sec,
                    v + 1 < row.variants.size() ? "," : "");

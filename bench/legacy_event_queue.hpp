@@ -1,0 +1,80 @@
+// The seed kernel's pending-event store, preserved verbatim as the reference
+// model for the ladder EventQueue (sim/event_queue.hpp).
+//
+// This is the exact data structure both executors dispatched from before the
+// ladder rewrite: one std::vector binary heap ordered by the canonical
+// (t, src, seq) stamp through std::push_heap/std::pop_heap, with the
+// comparator written as a "later than" predicate so the vector front is the
+// earliest event. Every golden ScenarioReport fingerprint in the repo was
+// minted against this order, which makes it the ground truth that
+// tests/event_queue_diff_test.cpp replays against the ladder queue — any
+// dispatch-order divergence, including within dense same-timestamp tie
+// storms where only (src, seq) discriminates, is a regression in the new
+// queue, not a tie-break judgement call.
+//
+// Callbacks here are std::function (as in the seed), so this queue also
+// serves as the allocation-behavior baseline in bench/bench_kernel.cpp:
+// bytes/event and mallocs/event of heap+std::function versus
+// ladder+InlineCallback.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"  // OwnerId / kControlOwner
+
+namespace ftbb::bench {
+
+class LegacyEventQueue {
+ public:
+  /// One scheduled callback, exactly as the seed executor stored it.
+  struct Event {
+    double t = 0.0;
+    sim::OwnerId src = sim::kControlOwner;
+    std::uint64_t seq = 0;
+    sim::OwnerId owner = sim::kControlOwner;
+    std::function<void()> fn;
+  };
+
+  void push(double t, sim::OwnerId src, std::uint64_t seq, sim::OwnerId owner,
+            std::function<void()> fn) {
+    heap_.push_back(Event{t, src, seq, owner, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+
+  [[nodiscard]] const Event* peek() const {
+    return heap_.empty() ? nullptr : &heap_.front();
+  }
+
+  /// Pops the earliest event by moving it out of the vector — the seed's
+  /// legitimate replacement for const_cast extraction from priority_queue.
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return heap_.capacity() * sizeof(Event);
+  }
+
+ private:
+  /// Canonical order, as a "later than" predicate so std::push_heap/pop_heap
+  /// build a min-heap — verbatim from the seed executor.
+  static bool later(const Event& a, const Event& b) {
+    if (a.t != b.t) return a.t > b.t;
+    if (a.src != b.src) return a.src > b.src;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace ftbb::bench

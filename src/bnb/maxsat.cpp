@@ -1,0 +1,152 @@
+#include "bnb/maxsat.hpp"
+
+#include "support/check.hpp"
+
+namespace ftbb::bnb {
+
+namespace {
+
+/// splitmix64 finalizer: the formula and every derived draw come from this,
+/// so the instance is a pure deterministic function of the seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0,1) from the top 53 bits — bit-stable across platforms.
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+// Domain-separation salts for the independent draws off one hash stream.
+constexpr std::uint64_t kSaltVar = 0x8f1bbcdcu;
+constexpr std::uint64_t kSaltSign = 0xca62c1d6u;
+constexpr std::uint64_t kSaltWeight = 0x6ed9eba1u;
+constexpr std::uint64_t kSaltCost = 0x1f83d9abu;
+
+}  // namespace
+
+MaxSatProblem::MaxSatProblem(std::uint64_t seed, MaxSatOptions opts)
+    : seed_(seed), opts_(opts) {
+  FTBB_CHECK(opts_.vars >= 3);
+  FTBB_CHECK_MSG(opts_.vars <= 22,
+                 "constructor enumerates 2^vars assignments to pin the optimum");
+  FTBB_CHECK(opts_.clause_ratio > 0.0);
+  const auto n_clauses = static_cast<std::size_t>(
+      opts_.clause_ratio * static_cast<double>(opts_.vars));
+  const std::uint64_t base = mix(seed_ ^ 0x6d61787361745f31ull);  // "maxsat_1"
+  clauses_.reserve(n_clauses);
+  for (std::size_t c = 0; c < n_clauses; ++c) {
+    Clause cl{};
+    const std::uint64_t ch = mix(base + c);
+    // Three distinct variables by deterministic re-draw on collision.
+    for (int lit = 0, draw = 0; lit < 3; ++draw) {
+      const auto v = static_cast<std::uint32_t>(
+          mix(ch ^ (kSaltVar + static_cast<std::uint64_t>(draw))) % opts_.vars);
+      bool dup = false;
+      for (int k = 0; k < lit; ++k) dup = dup || cl.var[k] == v;
+      if (dup) continue;
+      cl.var[lit] = v;
+      cl.sign[lit] = static_cast<std::uint8_t>(
+          mix(ch ^ (kSaltSign + static_cast<std::uint64_t>(lit))) & 1);
+      ++lit;
+    }
+    cl.weight = 1.0 + 9.0 * u01(mix(ch ^ kSaltWeight));
+    total_weight_ += cl.weight;
+    clauses_.push_back(cl);
+  }
+  std::vector<std::int8_t> assign(opts_.vars, -1);
+  enumerate(assign, 0);
+}
+
+std::vector<std::int8_t> MaxSatProblem::assignment_of(
+    const core::PathCode& code) const {
+  std::vector<std::int8_t> assign(opts_.vars, -1);
+  for (const core::Branch& b : code.steps()) {
+    FTBB_CHECK(b.var < opts_.vars);
+    assign[b.var] = static_cast<std::int8_t>(b.bit);
+  }
+  return assign;
+}
+
+double MaxSatProblem::falsified_weight(
+    const std::vector<std::int8_t>& assign) const {
+  double falsified = 0.0;
+  for (const Clause& cl : clauses_) {
+    bool dead = true;
+    for (int lit = 0; lit < 3; ++lit) {
+      const std::int8_t a = assign[cl.var[lit]];
+      if (a == -1 || a == static_cast<std::int8_t>(cl.sign[lit])) {
+        dead = false;
+        break;
+      }
+    }
+    if (dead) falsified += cl.weight;
+  }
+  return falsified;
+}
+
+std::uint64_t MaxSatProblem::path_hash(const core::PathCode& code) const {
+  std::uint64_t h = mix(seed_ ^ 0x6d61787361745f32ull);  // "maxsat_2"
+  for (const core::Branch& b : code.steps()) {
+    h = mix(h ^ (((static_cast<std::uint64_t>(b.var) << 1) | b.bit) + 0x100ull));
+  }
+  return h;
+}
+
+NodeEval MaxSatProblem::eval(const core::PathCode& code) const {
+  const std::size_t depth = code.depth();
+  const std::vector<std::int8_t> assign = assignment_of(code);
+  const double bound = falsified_weight(assign);
+  NodeEval out;
+  // Same deterministic jitter shape as the other synthetic models.
+  out.cost = opts_.cost_mean * (0.75 + 0.5 * u01(mix(path_hash(code) ^ kSaltCost)));
+  if (depth >= opts_.vars) {
+    // Every clause is decided: the falsified weight IS the objective.
+    out.feasible_leaf = true;
+    out.value = bound;
+    return out;
+  }
+  const auto var = static_cast<std::uint32_t>(depth);
+  for (std::uint8_t bit = 0; bit < 2; ++bit) {
+    std::vector<std::int8_t> child = assign;
+    child[var] = static_cast<std::int8_t>(bit);
+    ChildOut c;
+    c.var = var;
+    c.bit = bit;
+    c.bound = falsified_weight(child);
+    out.children.push_back(c);
+  }
+  return out;
+}
+
+double MaxSatProblem::bound_of(const core::PathCode& code) const {
+  return falsified_weight(assignment_of(code));
+}
+
+std::string MaxSatProblem::name() const {
+  return "max-sat(v=" + std::to_string(opts_.vars) +
+         ",c=" + std::to_string(clauses_.size()) +
+         ",seed=" + std::to_string(seed_) + ")";
+}
+
+void MaxSatProblem::enumerate(std::vector<std::int8_t>& assign,
+                              std::size_t depth) {
+  if (depth >= opts_.vars) {
+    const double value = falsified_weight(assign);
+    if (value < optimal_) optimal_ = value;
+    return;
+  }
+  // Prune against the incumbent: the falsified weight is monotone in the
+  // assignment, so a partial already at/above the best leaf cannot improve.
+  if (falsified_weight(assign) >= optimal_) return;
+  for (std::int8_t bit = 0; bit < 2; ++bit) {
+    assign[depth] = bit;
+    enumerate(assign, depth + 1);
+  }
+  assign[depth] = -1;
+}
+
+}  // namespace ftbb::bnb

@@ -12,6 +12,7 @@ void CodeSet::clear() {
   complete_count_ = 0;
   body_bytes_ = 0;
   live_nodes_ = 0;
+  root_complete_ = false;
   // Node 0 is always the root problem.
   nodes_.push_back(Node{});
   nodes_[0].in_use = true;
@@ -70,6 +71,7 @@ void CodeSet::mark_complete(std::int32_t idx, InsertResult& res) {
       }
     }
     n.complete = true;
+    if (idx == 0) root_complete_ = true;
     ++complete_count_;
     body_bytes_ += code_bytes(n);
   }
@@ -94,6 +96,7 @@ void CodeSet::mark_complete(std::int32_t idx, InsertResult& res) {
     p.child[0] = -1;
     p.child[1] = -1;
     p.complete = true;
+    if (parent == 0) root_complete_ = true;
     ++complete_count_;
     body_bytes_ += code_bytes(p);
     ++res.merges;
@@ -179,7 +182,6 @@ std::optional<PathCode> CodeSet::covering_code(const PathCode& code) const {
   return std::nullopt;
 }
 
-bool CodeSet::root_complete() const { return nodes_[0].complete; }
 
 void CodeSet::export_dfs(std::int32_t idx, std::vector<Branch>& path,
                          std::vector<PathCode>& out) const {

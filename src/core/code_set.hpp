@@ -65,6 +65,8 @@ class CodeSet {
   [[nodiscard]] std::optional<PathCode> covering_code(const PathCode& code) const;
 
   /// Termination predicate: the table contracted to the root code.
+  /// Defined inline below the class: every scheduling step polls it, and a
+  /// cross-TU call for a single flag load is measurable at planetary scale.
   [[nodiscard]] bool root_complete() const;
 
   /// Contracted list of completed codes, in deterministic DFS order
@@ -137,6 +139,13 @@ class CodeSet {
   std::size_t complete_count_ = 0;
   std::size_t body_bytes_ = 0;  // sum over completed leaves of code body+header bytes (see encoded_bytes)
   std::size_t live_nodes_ = 0;
+  /// Mirrors nodes_[0].complete. The termination predicate is polled on
+  /// every scheduling step; reading it from the CodeSet object itself (hot
+  /// next to the owning worker's state) skips a dependent load into the
+  /// nodes_ heap block.
+  bool root_complete_ = false;
 };
+
+inline bool CodeSet::root_complete() const { return root_complete_; }
 
 }  // namespace ftbb::core

@@ -29,6 +29,7 @@
 #include <functional>
 
 #include "fault/schedule.hpp"
+#include "sim/callback.hpp"
 
 namespace ftbb::fault {
 
@@ -66,11 +67,13 @@ class IFaultBackend {
 /// Deadline scheduling for timed injections. `call_at` runs `fn` at absolute
 /// time `at` on the substrate's control context; times are virtual seconds
 /// under a simulator clock and wall seconds since run start under a
-/// real-time clock.
+/// real-time clock. The callback type is the kernel's move-only
+/// sim::Callback so simulator clocks can forward it into the event queue
+/// without re-wrapping.
 class IFaultClock {
  public:
   virtual ~IFaultClock() = default;
-  virtual void call_at(double at, std::function<void()> fn) = 0;
+  virtual void call_at(double at, sim::Callback fn) = 0;
 };
 
 class FaultDriver {
@@ -103,7 +106,7 @@ class FaultDriver {
   [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
 
  private:
-  void schedule_injection(double at, std::function<void()> injection);
+  void schedule_injection(double at, sim::Callback injection);
 
   FaultSchedule schedule_;
   IFaultBackend* backend_;

@@ -70,7 +70,7 @@ class Mailbox {
 /// stop() discards whatever has not come due.
 class Scheduler {
  public:
-  void schedule(double at, std::function<void()> fn) {
+  void schedule(double at, sim::Callback fn) {
     {
       std::lock_guard lock(mutex_);
       queue_.push(Item{at, next_seq_++, std::move(fn)});
@@ -96,7 +96,7 @@ class Scheduler {
   struct Item {
     double at;
     std::uint64_t seq;
-    mutable std::function<void()> fn;  // moved out at dispatch; top is const
+    mutable sim::Callback fn;  // moved out at dispatch; top is const
 
     bool operator>(const Item& other) const {
       if (at != other.at) return at > other.at;
@@ -119,7 +119,7 @@ class Scheduler {
       const double t = now();
       const Item& top = queue_.top();
       if (top.at <= t) {
-        std::function<void()> fn = std::move(top.fn);
+        sim::Callback fn = std::move(top.fn);
         queue_.pop();
         lock.unlock();
         fn();
@@ -390,7 +390,7 @@ class RtCluster final : public fault::IFaultBackend, public fault::IFaultClock {
   }
 
   // ---- fault::IFaultClock ----
-  void call_at(double at, std::function<void()> fn) override {
+  void call_at(double at, sim::Callback fn) override {
     scheduler_.schedule(at, std::move(fn));
   }
 

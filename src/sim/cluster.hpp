@@ -212,7 +212,7 @@ class SimCluster {
     void abandon_join(std::uint32_t node) override;
     void set_partition(const Partition& partition) override;
     void set_loss_rule(const LossRule& rule) override;
-    void call_at(double at, std::function<void()> fn) override;
+    void call_at(double at, Callback fn) override;
 
    private:
     SimCluster* cluster_;

@@ -1,6 +1,7 @@
 #include "sim/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <cstring>
@@ -14,11 +15,13 @@ namespace ftbb::sim {
 
 namespace {
 
-/// One scheduled callback. (t, src, seq) is the canonical stamp; `owner` is
-/// the node whose shard dispatches it. src/seq are assigned at schedule()
-/// time from the scheduling context, which makes the total order independent
-/// of the executor and the thread count (see executor.hpp).
-struct Event {
+/// A not-yet-enqueued scheduled callback: cross-shard mailbox entries and the
+/// (tiny) control heap. (t, src, seq) is the canonical stamp; `owner` is the
+/// node whose shard dispatches it. src/seq are assigned at schedule() time
+/// from the scheduling context, which makes the total order independent of
+/// the executor and the thread count (see executor.hpp). Pending events on
+/// the main dispatch path live as EventNodes inside each shard's EventQueue.
+struct PendingEvent {
   double t = 0.0;
   OwnerId src = kControlOwner;
   std::uint64_t seq = 0;
@@ -29,25 +32,36 @@ struct Event {
 /// Canonical order, as a "later than" predicate so std::push_heap/pop_heap
 /// build a min-heap. Control (src = -1) sorts before same-time node events,
 /// preserving the old kernel's property that fault schedules enqueued before
-/// the run win insertion-order ties.
-bool later(const Event& a, const Event& b) {
+/// the run win insertion-order ties. Identical to later_stamp() in
+/// event_queue.hpp (and to the verbatim seed heap preserved in
+/// bench/legacy_event_queue.hpp).
+bool later(const PendingEvent& a, const PendingEvent& b) {
   if (a.t != b.t) return a.t > b.t;
   if (a.src != b.src) return a.src > b.src;
   return a.seq > b.seq;
 }
 
-void heap_push(std::vector<Event>& heap, Event ev) {
+void heap_push(std::vector<PendingEvent>& heap, PendingEvent ev) {
   heap.push_back(std::move(ev));
   std::push_heap(heap.begin(), heap.end(), later);
 }
 
-/// Pops the earliest event by moving it out of the vector — the legitimate
-/// replacement for the old const_cast extraction from std::priority_queue.
-Event heap_pop(std::vector<Event>& heap) {
+PendingEvent heap_pop(std::vector<PendingEvent>& heap) {
   std::pop_heap(heap.begin(), heap.end(), later);
-  Event ev = std::move(heap.back());
+  PendingEvent ev = std::move(heap.back());
   heap.pop_back();
   return ev;
+}
+
+/// Busy-wait hint for the barrier spin loops.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
 }
 
 /// Per-thread execution context of the sharded executor. Only shard worker
@@ -71,7 +85,7 @@ class SequentialExecutor final : public EventExecutor {
   void schedule(double t, OwnerId owner, Callback fn) override {
     FTBB_CHECK_MSG(t >= now_, "Kernel::at: scheduling into the past");
     FTBB_CHECK(owner >= kControlOwner);
-    heap_push(heap_, Event{t, cur_owner_, next_seq(cur_owner_), owner, std::move(fn)});
+    queue_.push(t, cur_owner_, next_seq(cur_owner_), owner, std::move(fn));
   }
 
   [[nodiscard]] double now() const override { return now_; }
@@ -80,8 +94,8 @@ class SequentialExecutor final : public EventExecutor {
 
   RunResult run(double time_limit, std::uint64_t event_limit) override {
     RunResult res;
-    while (!heap_.empty()) {
-      if (heap_.front().t > time_limit) {
+    while (const EventNode* head = queue_.peek()) {
+      if (head->t > time_limit) {
         res.hit_time_limit = true;
         // Advance the clock so a caller can resume with a larger limit.
         now_ = std::max(now_, time_limit);
@@ -93,19 +107,20 @@ class SequentialExecutor final : public EventExecutor {
         cur_owner_ = kControlOwner;
         return res;
       }
-      Event ev = heap_pop(heap_);
-      now_ = ev.t;
-      cur_owner_ = ev.owner;
+      EventNode* ev = queue_.pop();
+      now_ = ev->t;
+      cur_owner_ = ev->owner;
       ++res.events;
-      ev.fn();
+      ev->fn();
+      queue_.recycle(ev);
     }
     cur_owner_ = kControlOwner;
     res.drained = true;
     return res;
   }
 
-  [[nodiscard]] bool empty() const override { return heap_.empty(); }
-  [[nodiscard]] std::size_t queued() const override { return heap_.size(); }
+  [[nodiscard]] bool empty() const override { return queue_.empty(); }
+  [[nodiscard]] std::size_t queued() const override { return queue_.size(); }
 
  private:
   std::uint64_t next_seq(OwnerId src) {
@@ -114,7 +129,7 @@ class SequentialExecutor final : public EventExecutor {
     return seq_[idx]++;
   }
 
-  std::vector<Event> heap_;
+  EventQueue queue_;
   std::vector<std::uint64_t> seq_;  // per scheduling context, index src + 1
   double now_ = 0.0;
   OwnerId cur_owner_ = kControlOwner;
@@ -215,11 +230,11 @@ class ShardedExecutor final : public EventExecutor {
                    "ShardedExecutor: owner id outside [control, nodes)");
     // Contexts are single-shard (control runs only at barriers), so the
     // per-context counter has exactly one writer and stamps are race-free.
-    Event ev{t, src, seq_[static_cast<std::size_t>(src + 1)]++, owner, std::move(fn)};
+    const std::uint64_t seq = seq_[static_cast<std::size_t>(src + 1)]++;
     if (owner == kControlOwner) {
       FTBB_CHECK_MSG(src == kControlOwner,
                      "only the control context may schedule control events");
-      heap_push(control_, std::move(ev));
+      heap_push(control_, PendingEvent{t, src, seq, owner, std::move(fn)});
       return;
     }
     const std::uint32_t dest_shard = shard_of_[static_cast<std::uint32_t>(owner)];
@@ -237,11 +252,11 @@ class ShardedExecutor final : public EventExecutor {
                                                  shard_count_ + dest_shard],
           "ShardedExecutor: cross-shard event closer than the lookahead");
       const std::lock_guard<std::mutex> lock(dest.mail_mu);
-      dest.mailbox.push_back(std::move(ev));
+      dest.mailbox.push_back(PendingEvent{t, src, seq, owner, std::move(fn)});
     } else {
-      // Own heap (same shard), or the coordinator with every shard
+      // Own queue (same shard), or the coordinator with every shard
       // quiescent (pre-run, post-run, or a control event at a barrier).
-      heap_push(dest.heap, std::move(ev));
+      dest.queue.push(t, src, seq, owner, std::move(fn));
     }
   }
 
@@ -258,12 +273,18 @@ class ShardedExecutor final : public EventExecutor {
     for (auto& shard : shards_) shard->events = 0;
     std::vector<std::thread> threads;
     threads.reserve(shard_count_);
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      stop_ = false;
-    }
+    stop_.store(false, std::memory_order_seq_cst);
+    // Each thread's "windows seen" baseline is the generation at spawn time,
+    // captured HERE: on a resumed run() the counter carries over from the
+    // previous run (so zero would look like an already-open window with stale
+    // parameters), and a late-starting thread reading the counter itself
+    // could adopt a generation the coordinator already advanced — and then
+    // sit out the very window the coordinator is waiting on.
+    const std::uint64_t start_generation =
+        generation_.load(std::memory_order_relaxed);
     for (std::uint32_t i = 0; i < shard_count_; ++i) {
-      threads.emplace_back([this, i] { shard_main(i); });
+      threads.emplace_back(
+          [this, i, start_generation] { shard_main(i, start_generation); });
     }
 
     std::uint64_t control_events = 0;
@@ -272,9 +293,9 @@ class ShardedExecutor final : public EventExecutor {
       drain_mailboxes();
       double next_shard = std::numeric_limits<double>::infinity();
       for (std::uint32_t s = 0; s < shard_count_; ++s) {
-        const auto& heap = shards_[s]->heap;
-        heads[s] = heap.empty() ? std::numeric_limits<double>::infinity()
-                                : heap.front().t;
+        const EventNode* head = shards_[s]->queue.peek();
+        heads[s] = head == nullptr ? std::numeric_limits<double>::infinity()
+                                   : head->t;
         next_shard = std::min(next_shard, heads[s]);
       }
       const double next_control =
@@ -299,40 +320,50 @@ class ShardedExecutor final : public EventExecutor {
       // Execute every control-stamped event at next_t — control-owned
       // events in the control heap, plus node-owned events that were
       // scheduled from the control context (late joins, revive timers) and
-      // sit atop shard heaps — at a barrier, in sequence order. The
+      // sit atop shard queues — at a barrier, in sequence order. The
       // comparator sorts src = -1 before node stamps at equal time, so these
       // are exactly the events that precede every same-time node-stamped
       // event in the canonical order, and they always surface at their
-      // shard's heap top. They may touch cross-node state exactly like on
+      // shard's queue head. They may touch cross-node state exactly like on
       // the sequential kernel.
       bool ran_control = false;
       for (;;) {
-        std::vector<Event>* source = nullptr;
+        // Source of the lowest-seq control-stamped event at next_t:
+        // kControlOwner-1 = none, kControlOwner = control heap, else shard.
+        std::int64_t source = kControlOwner - 1;
         std::uint64_t best_seq = 0;
         if (!control_.empty() && control_.front().t == next_t) {
-          source = &control_;
+          source = kControlOwner;
           best_seq = control_.front().seq;
         }
-        for (const auto& shard : shards_) {
-          std::vector<Event>& heap = shard->heap;
-          if (!heap.empty() && heap.front().t == next_t &&
-              heap.front().src == kControlOwner &&
-              (source == nullptr || heap.front().seq < best_seq)) {
-            source = &heap;
-            best_seq = heap.front().seq;
+        for (std::uint32_t s = 0; s < shard_count_; ++s) {
+          const EventNode* head = shards_[s]->queue.peek();
+          if (head != nullptr && head->t == next_t &&
+              head->src == kControlOwner &&
+              (source < kControlOwner || head->seq < best_seq)) {
+            source = s;
+            best_seq = head->seq;
           }
         }
-        if (source == nullptr) break;
-        Event ev = heap_pop(*source);
+        if (source < kControlOwner) break;
         barrier_now_ = next_t;
-        // The executing event's owner becomes the scheduling context, so a
-        // barrier-run join stamps its follow-ups exactly like the
-        // sequential kernel does.
-        barrier_owner_ = ev.owner;
         ++control_events;
-        ev.fn();
-        barrier_owner_ = kControlOwner;
         ran_control = true;
+        if (source == kControlOwner) {
+          PendingEvent ev = heap_pop(control_);
+          // The executing event's owner becomes the scheduling context, so a
+          // barrier-run join stamps its follow-ups exactly like the
+          // sequential kernel does.
+          barrier_owner_ = ev.owner;
+          ev.fn();
+        } else {
+          EventQueue& q = shards_[static_cast<std::size_t>(source)]->queue;
+          EventNode* ev = q.pop();
+          barrier_owner_ = ev->owner;
+          ev->fn();
+          q.recycle(ev);
+        }
+        barrier_owner_ = kControlOwner;
       }
       if (ran_control) continue;
       // Parallel windows, one end per shard:
@@ -345,7 +376,7 @@ class ShardedExecutor final : public EventExecutor {
       // Any influence that could still reach shard s starts from some
       // shard's currently queued event (time >= head(o)) and pays at least
       // the shortest hop-chain cost to arrive, so it lands at >= w_s; s's own
-      // queued events are already stamp-ordered in its heap and need no
+      // queued events are already stamp-ordered in its queue and need no
       // latency bound, which is why o == s contributes the round-trip cycle,
       // not zero. No control event precedes w_s either, so shard s cannot
       // observe anyone mid-window. With one latency class and both shards
@@ -365,27 +396,46 @@ class ShardedExecutor final : public EventExecutor {
         }
         shards_[s]->window_end = w;
       }
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        window_time_limit_ = time_limit;
-        window_event_quota_ = event_limit - total;  // >= 1 here
-        done_count_ = 0;
-        ++generation_;
+      // Open the window: the plain-field window parameters are published by
+      // the release increment of generation_ and the shards' acquire loads
+      // of it (the cv path re-reads generation_ the same way after waking).
+      window_time_limit_ = time_limit;
+      window_event_quota_ = event_limit - total;  // >= 1 here
+      done_count_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_seq_cst);
+      if (work_sleepers_.load(std::memory_order_seq_cst) > 0) {
+        // The empty critical section orders this notify after any sleeper's
+        // predicate check, so a shard that saw the old generation is already
+        // parked (or will re-check and skip the wait).
+        { const std::lock_guard<std::mutex> lock(mu_); }
+        cv_work_.notify_all();
       }
-      cv_work_.notify_all();
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_done_.wait(lock, [this] { return done_count_ == shard_count_; });
+      // Wait for every shard to finish its window: spin briefly (a window is
+      // typically shorter than a futex round trip), then park on the cv.
+      std::uint32_t spins = 0;
+      while (done_count_.load(std::memory_order_acquire) != shard_count_) {
+        if (spins < kSpinIters) {
+          cpu_relax();
+          ++spins;
+        } else if (spins < kSpinIters + kYieldIters) {
+          std::this_thread::yield();
+          ++spins;
+        } else {
+          done_waiting_.store(true, std::memory_order_seq_cst);
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_done_.wait(lock, [this] {
+            return done_count_.load(std::memory_order_seq_cst) == shard_count_;
+          });
+          done_waiting_.store(false, std::memory_order_relaxed);
+        }
       }
       for (const auto& shard : shards_) {
         barrier_now_ = std::max(barrier_now_, shard->last_time);
       }
     }
 
-    {
-      const std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
+    stop_.store(true, std::memory_order_seq_cst);
+    { const std::lock_guard<std::mutex> lock(mu_); }
     cv_work_.notify_all();
     for (std::thread& thread : threads) thread.join();
     res.events = control_events;
@@ -397,65 +447,111 @@ class ShardedExecutor final : public EventExecutor {
 
   [[nodiscard]] std::size_t queued() const override {
     // Only meaningful at quiescence (before/after run, or at a barrier);
-    // shard heaps have no lock, so an in-handler call would be a data race.
+    // shard queues have no lock, so an in-handler call would be a data race.
     FTBB_CHECK_MSG(tls_ctx.executor != this,
                    "ShardedExecutor: queued()/empty() called from a handler");
     std::size_t n = control_.size();
     for (const auto& shard : shards_) {
       const std::lock_guard<std::mutex> lock(shard->mail_mu);
-      n += shard->heap.size() + shard->mailbox.size();
+      n += shard->queue.size() + shard->mailbox.size();
     }
     return n;
   }
 
  private:
+  // Spin budgets before a barrier participant parks on its cv. Windows are
+  // often a handful of events, so the done/work handshake usually completes
+  // inside the spin phase and the futex syscalls disappear from the profile.
+  static constexpr std::uint32_t kSpinIters = 256;
+  static constexpr std::uint32_t kYieldIters = 16;
+
   struct alignas(64) Shard {
-    std::vector<Event> heap;       // touched by the owner thread in-window,
+    EventQueue queue;              // touched by the owner thread in-window,
                                    // by the coordinator at barriers
     std::mutex mail_mu;
-    std::vector<Event> mailbox;    // cross-shard arrivals for later windows
+    std::vector<PendingEvent> mailbox;  // cross-shard arrivals, next barrier
+    std::size_t mail_hwm = 0;      // high-water mark, reserved after drain
     std::uint64_t events = 0;
     double last_time = 0.0;
     double window_end = 0.0;       // written at barriers, read in-window
   };
 
   void drain_mailboxes() {
+    // O(1) amortized per event: mailbox entries append into the ladder's
+    // time bands instead of sifting through a binary heap one by one (the
+    // old per-event heap_push was the sharded/barrier regression — every
+    // barrier paid n log n against the full pending set). The vector keeps
+    // its high-water capacity across epochs, so steady-state drains neither
+    // allocate nor free.
     for (auto& shard : shards_) {
       const std::lock_guard<std::mutex> lock(shard->mail_mu);
-      for (Event& ev : shard->mailbox) heap_push(shard->heap, std::move(ev));
+      shard->mail_hwm = std::max(shard->mail_hwm, shard->mailbox.size());
+      for (PendingEvent& ev : shard->mailbox) {
+        shard->queue.push(ev.t, ev.src, ev.seq, ev.owner, std::move(ev.fn));
+      }
       shard->mailbox.clear();
+      if (shard->mailbox.capacity() < shard->mail_hwm) {
+        shard->mailbox.reserve(shard->mail_hwm);
+      }
     }
   }
 
-  void shard_main(std::uint32_t index) {
+  void shard_main(std::uint32_t index, std::uint64_t seen_generation) {
     tls_ctx = ExecContext{this, 0.0, kControlOwner, index};
     Shard& shard = *shards_[index];
-    std::uint64_t seen_generation = 0;
     for (;;) {
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_work_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
-        if (stop_) break;
-        seen_generation = generation_;
+      // Wait for the next window (or stop): spin, yield, then park. The
+      // seq_cst sleeper count pairs with the coordinator's post-increment
+      // read — either it sees us parked and notifies, or we see the new
+      // generation and never park.
+      std::uint64_t gen;
+      std::uint32_t spins = 0;
+      for (;;) {
+        gen = generation_.load(std::memory_order_acquire);
+        if (gen != seen_generation || stop_.load(std::memory_order_acquire))
+          break;
+        if (spins < kSpinIters) {
+          cpu_relax();
+          ++spins;
+        } else if (spins < kSpinIters + kYieldIters) {
+          std::this_thread::yield();
+          ++spins;
+        } else {
+          work_sleepers_.fetch_add(1, std::memory_order_seq_cst);
+          {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_work_.wait(lock, [&] {
+              return stop_.load(std::memory_order_seq_cst) ||
+                     generation_.load(std::memory_order_seq_cst) !=
+                         seen_generation;
+            });
+          }
+          work_sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+        }
       }
+      if (stop_.load(std::memory_order_acquire)) break;
+      seen_generation = gen;
       std::uint64_t dispatched = 0;
-      while (!shard.heap.empty() && shard.heap.front().t < shard.window_end &&
-             shard.heap.front().t <= window_time_limit_ &&
-             dispatched < window_event_quota_) {
-        Event ev = heap_pop(shard.heap);
-        tls_ctx.now = ev.t;
-        tls_ctx.owner = ev.owner;
-        shard.last_time = ev.t;
+      while (const EventNode* head = shard.queue.peek()) {
+        if (!(head->t < shard.window_end) || head->t > window_time_limit_ ||
+            dispatched >= window_event_quota_) {
+          break;
+        }
+        EventNode* ev = shard.queue.pop();
+        tls_ctx.now = ev->t;
+        tls_ctx.owner = ev->owner;
+        shard.last_time = ev->t;
         ++shard.events;
         ++dispatched;
-        ev.fn();
+        ev->fn();
+        shard.queue.recycle(ev);
       }
       tls_ctx.owner = kControlOwner;
-      {
-        const std::lock_guard<std::mutex> lock(mu_);
-        ++done_count_;
+      done_count_.fetch_add(1, std::memory_order_seq_cst);
+      if (done_waiting_.load(std::memory_order_seq_cst)) {
+        { const std::lock_guard<std::mutex> lock(mu_); }
+        cv_done_.notify_one();
       }
-      cv_done_.notify_one();
     }
     tls_ctx = ExecContext{};
   }
@@ -467,18 +563,23 @@ class ShardedExecutor final : public EventExecutor {
   std::vector<double> pair_lookahead_;   // shard x shard, row-major [from][to]
   std::vector<double> pair_closure_;     // transitive closure; diagonal = min cycle
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<Event> control_;
+  std::vector<PendingEvent> control_;
   std::vector<std::uint64_t> seq_;  // per scheduling context, index src + 1;
                                     // each context is single-threaded
   double barrier_now_ = 0.0;
   OwnerId barrier_owner_ = kControlOwner;  // context of a barrier-run event
 
+  // Barrier plane: generation_ publishes window parameters (release store /
+  // acquire load); done_count_ collects finishers the same way; the mutex +
+  // cvs only back the park-when-idle slow path.
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<std::uint32_t> done_count_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint32_t> work_sleepers_{0};
+  std::atomic<bool> done_waiting_{false};
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  std::uint64_t generation_ = 0;
-  std::uint32_t done_count_ = 0;
-  bool stop_ = false;
   double window_time_limit_ = 0.0;
   std::uint64_t window_event_quota_ = 0;  // per-shard in-window dispatch cap
 };

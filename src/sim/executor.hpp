@@ -51,21 +51,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <memory>
 #include <vector>
 
+#include "sim/event_queue.hpp"  // Callback, OwnerId, kControlOwner, EventQueue
+
 namespace ftbb::sim {
 
-using Callback = std::function<void()>;
-
-/// Event owner: a simulated node id, or kControlOwner for the control
-/// context (fault injection / sampling / pre-run scheduling). Control events
-/// order before same-time node events, matching the old kernel where fault
-/// schedules were enqueued first and therefore won insertion-order ties.
-using OwnerId = std::int32_t;
-constexpr OwnerId kControlOwner = -1;
+// The event data plane lives in two sibling headers:
+//   - sim/callback.hpp   : Callback (InlineCallback) — the move-only,
+//     small-buffer-optimized event closure; zero allocations for captures
+//     up to 64 bytes, pooled 128-byte blocks beyond.
+//   - sim/event_queue.hpp: OwnerId / kControlOwner, the canonical stamp
+//     order, and the ladder EventQueue both executors dispatch from.
 
 /// Optional per-channel refinement of the global lookahead: nodes belong to
 /// latency groups (racks, in the hierarchical network model) and the matrix

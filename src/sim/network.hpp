@@ -32,7 +32,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <vector>
 
@@ -227,8 +226,11 @@ class Network {
   /// on the destination node's event stream — unless the message is lost.
   /// Returns false when dropped. Must be called from the sending node's own
   /// context (or from the control context while shards are quiescent).
+  /// `deliver` is taken by value as the kernel's move-only Callback and moved
+  /// straight through the loss/jitter path into the scheduled event — no
+  /// intermediate std::function conversion, no extra allocation.
   bool send(std::uint32_t from, std::uint32_t to, std::size_t bytes, double departure,
-            std::function<void()> deliver) {
+            Callback deliver) {
     FTBB_CHECK(from < channels_.size() && to < channels_.size());
     Channel& src = channels_[from];
     ++src.messages_sent;
@@ -250,10 +252,7 @@ class Network {
     }
     src.bytes_delivered += bytes;
     kernel_->at(departure + latency, static_cast<OwnerId>(to),
-                [this, to, deliver = std::move(deliver)]() {
-                  ++channels_[to].messages_delivered;
-                  deliver();
-                });
+                DeliverTask{this, to, std::move(deliver)});
     return true;
   }
 
@@ -274,6 +273,23 @@ class Network {
   [[nodiscard]] const NetConfig& config() const { return config_; }
 
  private:
+  /// The scheduled arrival of a sent message: bumps the destination's
+  /// delivery counter, then runs the caller's deliver closure. A named
+  /// struct instead of a capturing lambda keeps the wrapper at exactly
+  /// {Network*, node id, inner callback} — one pooled Callback block even
+  /// when the inner closure itself carries a Message payload. `network` stays
+  /// valid: the kernel drains or is discarded before the Network in every
+  /// backend.
+  struct DeliverTask {
+    Network* network;
+    std::uint32_t to;
+    Callback inner;
+    void operator()() {
+      ++network->channels_[to].messages_delivered;
+      inner();
+    }
+  };
+
   /// Per-node channel: the draw stream and counters for traffic this node
   /// originates, plus the delivery counter for traffic it receives. Both
   /// sides are written only on the node's own shard (sends execute in the

@@ -6,6 +6,7 @@
 
 #include "bnb/basic_tree.hpp"
 #include "bnb/knapsack.hpp"
+#include "bnb/maxsat.hpp"
 #include "bnb/partition.hpp"
 #include "bnb/shifty.hpp"
 #include "bnb/vertex_cover.hpp"
@@ -257,6 +258,8 @@ const char* to_string(WorkloadKind kind) {
       return "synthetic-tree";
     case WorkloadKind::kShifty:
       return "shifty";
+    case WorkloadKind::kMaxSat:
+      return "max-sat";
   }
   return "?";
 }
@@ -301,6 +304,13 @@ Workload build_workload(const WorkloadSpec& spec) {
       opts.depth_limit = spec.size;
       opts.cost_mean = spec.cost_mean;
       w.model = std::make_unique<bnb::ShiftyProblem>(spec.seed, opts);
+      break;
+    }
+    case WorkloadKind::kMaxSat: {
+      bnb::MaxSatOptions opts;
+      opts.vars = spec.size;
+      opts.cost_mean = spec.cost_mean;
+      w.model = std::make_unique<bnb::MaxSatProblem>(spec.seed, opts);
       break;
     }
   }

@@ -44,6 +44,7 @@ enum class WorkloadKind : std::uint8_t {
   kNumberPartition = 2,
   kSyntheticTree = 3,
   kShifty = 4,  // adversarial mid-solve branching-factor shift (bnb/shifty.hpp)
+  kMaxSat = 5,  // weighted random 3-CNF, minimize falsified weight (bnb/maxsat.hpp)
 };
 
 [[nodiscard]] const char* to_string(WorkloadKind kind);

@@ -84,6 +84,11 @@ TEST(Equivalence, ShiftyUnderLossyPlan) {
   expect_equivalent(WorkloadKind::kShifty, 12, 13);
 }
 
+TEST(Equivalence, MaxSatUnderLossyPlan) {
+  expect_equivalent(WorkloadKind::kMaxSat, 12, 14);
+  expect_equivalent(WorkloadKind::kMaxSat, 14, 15);
+}
+
 // ---------------------------------------------------------------------------
 // Cross-substrate corpus agreement: every named FaultPlan replays on the rt
 // backend through the same ScenarioRunner entry point, and rt agrees with

@@ -43,7 +43,7 @@ class RecordingBackend final : public IFaultBackend {
 /// order, like any real clock would.
 class ManualClock final : public IFaultClock {
  public:
-  void call_at(double at, std::function<void()> fn) override {
+  void call_at(double at, sim::Callback fn) override {
     pending.push_back({at, std::move(fn)});
   }
 
@@ -65,7 +65,7 @@ class ManualClock final : public IFaultClock {
 
   struct Item {
     double at;
-    std::function<void()> fn;
+    sim::Callback fn;
   };
   std::vector<Item> pending;
 };

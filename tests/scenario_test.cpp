@@ -118,7 +118,7 @@ TEST(Scenario, WorkloadsAllRunUnderLoss) {
   for (const WorkloadKind kind :
        {WorkloadKind::kKnapsack, WorkloadKind::kVertexCover,
         WorkloadKind::kNumberPartition, WorkloadKind::kSyntheticTree,
-        WorkloadKind::kShifty}) {
+        WorkloadKind::kShifty, WorkloadKind::kMaxSat}) {
     ScenarioSpec spec = base_spec("workload-sweep", Backend::kFtbb, 41);
     spec.workload.kind = kind;
     spec.workload.size = kind == WorkloadKind::kSyntheticTree ? 401
@@ -141,6 +141,28 @@ TEST(Scenario, ShiftyAdversaryCompletesAndMatchesGolden) {
   const ScenarioReport report = ScenarioRunner::run(spec);
   expect_solved(report);
   constexpr std::uint64_t kGolden = 0x92fea02cd9f7207bULL;
+  EXPECT_EQ(report.fingerprint(), kGolden)
+      << "actual 0x" << std::hex << report.fingerprint() << "\n"
+      << report.to_string();
+  for (const std::uint32_t threads : {2u, 4u}) {
+    ScenarioSpec sharded = spec;
+    sharded.sim_threads = threads;
+    EXPECT_EQ(ScenarioRunner::run(sharded).fingerprint(), kGolden)
+        << "with " << threads << " threads";
+  }
+}
+
+TEST(Scenario, MaxSatCompletesAndMatchesGolden) {
+  // The clause-structured workload under loss + a bounce. Golden fingerprint
+  // pinned with the same discipline as the named-plan corpus below; the 2-
+  // and 4-thread replays hold the sharded executor to the sequential order.
+  ScenarioSpec spec = base_spec("max-sat-adversary", Backend::kFtbb, 73);
+  spec.workload.kind = WorkloadKind::kMaxSat;
+  spec.workload.size = 12;
+  spec.faults.loss(0.0, 1e9, 0.05).bounce(2, 0.05, 0.2);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  constexpr std::uint64_t kGolden = 0x43193f2e5d810f3cULL;
   EXPECT_EQ(report.fingerprint(), kGolden)
       << "actual 0x" << std::hex << report.fingerprint() << "\n"
       << report.to_string();
