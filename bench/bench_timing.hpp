@@ -28,20 +28,34 @@ inline double now_seconds() {
 /// warm up outside the measurement window — two, because adaptive structures
 /// under test (e.g. the pool's lazy nursery) may spend their first *two*
 /// calls transitioning to steady state.
+///
+/// Clock reads are amortized over a geometrically growing batch of calls
+/// (re-doubled until one batch spans ~1% of the window), so nanosecond-scale
+/// ops — a packed-code child() is ~10ns — are not measured clock-to-clock,
+/// where the ~25ns steady_clock read would dominate the number.
 template <typename Fn>
 double measure(double target_seconds, double ops_per_call, Fn&& op) {
   op();
   op();
   std::uint64_t calls = 0;
+  std::uint64_t batch = 1;
   const double start = now_seconds();
   double elapsed = 0.0;
   do {
-    op();
-    ++calls;
+    for (std::uint64_t i = 0; i < batch; ++i) op();
+    calls += batch;
     elapsed = now_seconds() - start;
+    if (elapsed < target_seconds / 100.0) batch *= 2;
   } while (elapsed < target_seconds);
   return static_cast<double>(calls) * ops_per_call / elapsed;
 }
+
+/// Forces the object behind `p` to be materialized in memory each time: an
+/// opaque asm statement the optimizer must assume inspects and mutates it.
+/// Self-timed benches use this where a sink variable is not enough — e.g. a
+/// derived PathCode whose buffer copy would otherwise be dead-store
+/// eliminated once the op is inlined into the measurement loop.
+inline void keep(void* p) { asm volatile("" : "+r"(p) : : "memory"); }
 
 /// Compiler + optimization mode the binary was built with.
 inline std::string build_flags() {

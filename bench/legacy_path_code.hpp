@@ -1,0 +1,161 @@
+// The seed-era PathCode, preserved verbatim (modulo the class name and the
+// inline qualifiers a header-only copy needs) as the differential oracle for
+// tests/path_code_diff_test.cpp.
+//
+// Every golden ScenarioReport fingerprint in the repo was produced while
+// this vector<Branch> implementation defined code ordering, equality, hash
+// values and wire bytes. The packed small-buffer rewrite in
+// core/path_code.hpp must reproduce all of those bit-for-bit; this copy is
+// what "bit-for-bit" is measured against, so it must never be "improved" —
+// only deleted wholesale if the differential suite is ever retired.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/path_code.hpp"  // core::Branch (unchanged by the rewrite)
+#include "support/bytes.hpp"
+#include "support/check.hpp"
+
+namespace ftbb::bench {
+
+using core::Branch;
+
+/// Immutable-ish sequence of branching decisions from the root — the seed
+/// implementation: one heap vector<Branch>, copied wholesale by every
+/// derivation, hash recomputed per call.
+class LegacyPathCode {
+ public:
+  LegacyPathCode() = default;
+  explicit LegacyPathCode(std::vector<Branch> steps) : steps_(std::move(steps)) {}
+
+  /// The root problem: the empty decision sequence "()".
+  static LegacyPathCode root() { return LegacyPathCode{}; }
+
+  [[nodiscard]] bool is_root() const { return steps_.empty(); }
+  [[nodiscard]] std::size_t depth() const { return steps_.size(); }
+  [[nodiscard]] const std::vector<Branch>& steps() const { return steps_; }
+  [[nodiscard]] const Branch& step(std::size_t i) const { return steps_[i]; }
+  [[nodiscard]] const Branch& last() const {
+    FTBB_CHECK_MSG(!steps_.empty(), "root code has no last step");
+    return steps_.back();
+  }
+
+  /// Child code reached by branching on `var` toward `bit`.
+  [[nodiscard]] LegacyPathCode child(std::uint32_t var, bool bit) const {
+    std::vector<Branch> s = steps_;
+    s.push_back(Branch{var, static_cast<std::uint8_t>(bit)});
+    return LegacyPathCode(std::move(s));
+  }
+
+  /// Code of the parent problem; the root has no parent.
+  [[nodiscard]] LegacyPathCode parent() const {
+    FTBB_CHECK_MSG(!steps_.empty(), "root code has no parent");
+    std::vector<Branch> s(steps_.begin(), steps_.end() - 1);
+    return LegacyPathCode(std::move(s));
+  }
+
+  /// Code of the sibling problem (same parent, other branch).
+  [[nodiscard]] LegacyPathCode sibling() const {
+    FTBB_CHECK_MSG(!steps_.empty(), "root code has no sibling");
+    std::vector<Branch> s = steps_;
+    s.back().bit ^= 1;
+    return LegacyPathCode(std::move(s));
+  }
+
+  /// Prefix of the first `n` decisions (n <= depth()).
+  [[nodiscard]] LegacyPathCode prefix(std::size_t n) const {
+    FTBB_CHECK(n <= steps_.size());
+    return LegacyPathCode(std::vector<Branch>(steps_.begin(), steps_.begin() + n));
+  }
+
+  /// True when `this` is an ancestor of `other` or equal to it.
+  [[nodiscard]] bool contains(const LegacyPathCode& other) const {
+    if (steps_.size() > other.steps_.size()) return false;
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      if (steps_[i] != other.steps_[i]) return false;
+    }
+    return true;
+  }
+
+  /// Strict ancestor test.
+  [[nodiscard]] bool is_ancestor_of(const LegacyPathCode& other) const {
+    return steps_.size() < other.steps_.size() && contains(other);
+  }
+
+  static constexpr std::uint64_t kMaxDepth = 1u << 20;
+
+  /// Wire encoding: varint step count, then per step varint (var<<1 | bit).
+  void encode(support::ByteWriter& w) const {
+    w.varint(steps_.size());
+    for (const Branch& b : steps_) {
+      w.varint((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
+    }
+  }
+
+  static LegacyPathCode decode(support::ByteReader& r) {
+    const std::uint64_t n = r.varint();
+    if (n > kMaxDepth) r.mark_corrupt("PathCode: implausible depth");
+    if (!r.fits_count(n) || !r.ok()) return LegacyPathCode{};
+    std::vector<Branch> steps;
+    steps.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t packed = r.varint();
+      if (!r.ok()) return LegacyPathCode{};
+      if ((packed >> 1) > 0xffffffffULL) {
+        r.mark_corrupt("PathCode: variable index overflow");
+        return LegacyPathCode{};
+      }
+      steps.push_back(Branch{static_cast<std::uint32_t>(packed >> 1),
+                             static_cast<std::uint8_t>(packed & 1)});
+    }
+    return LegacyPathCode(std::move(steps));
+  }
+
+  /// Exact number of bytes encode() will produce.
+  [[nodiscard]] std::size_t encoded_size() const {
+    std::size_t n = support::varint_size(steps_.size());
+    for (const Branch& b : steps_) {
+      n += support::varint_size((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
+    }
+    return n;
+  }
+
+  /// Paper notation, e.g. "(<x1,0>,<x2,1>)"; "()" for the root.
+  [[nodiscard]] std::string to_string() const {
+    if (steps_.empty()) return "()";
+    std::string s = "(";
+    for (std::size_t i = 0; i < steps_.size(); ++i) {
+      if (i) s += ",";
+      s += "<x" + std::to_string(steps_[i].var) + "," + std::to_string(int(steps_[i].bit)) + ">";
+    }
+    s += ")";
+    return s;
+  }
+
+  friend bool operator==(const LegacyPathCode&, const LegacyPathCode&) = default;
+  friend auto operator<=>(const LegacyPathCode& a, const LegacyPathCode& b) {
+    return a.steps_ <=> b.steps_;
+  }
+
+  /// FNV-1a style hash over the decision sequence.
+  [[nodiscard]] std::size_t hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ULL;
+    };
+    for (const Branch& b : steps_) {
+      mix((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
+    }
+    mix(steps_.size());
+    return static_cast<std::size_t>(h);
+  }
+
+ private:
+  std::vector<Branch> steps_;
+};
+
+}  // namespace ftbb::bench

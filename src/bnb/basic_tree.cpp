@@ -122,7 +122,8 @@ BasicTree BasicTree::random(const RandomTreeConfig& config) {
 
 std::int32_t BasicTree::resolve(const core::PathCode& code) const {
   std::int32_t cur = 0;
-  for (const core::Branch& step : code.steps()) {
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const core::Branch step = code.step(i);
     const TreeNode& n = nodes_[static_cast<std::size_t>(cur)];
     FTBB_CHECK_MSG(!n.is_leaf(), "BasicTree::resolve: code descends past a leaf");
     FTBB_CHECK_MSG(n.var == step.var, "BasicTree::resolve: variable mismatch");

@@ -94,7 +94,8 @@ KnapsackModel::State KnapsackModel::replay(const core::PathCode& code) const {
   State s;
   s.decided.assign(instance_.items(), -1);
   s.cap_left = instance_.capacity;
-  for (const core::Branch& step : code.steps()) {
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const core::Branch step = code.step(i);
     FTBB_CHECK_MSG(step.var < instance_.items(), "knapsack code: bad variable");
     FTBB_CHECK_MSG(s.decided[step.var] == -1, "knapsack code: variable decided twice");
     s.decided[step.var] = static_cast<std::int8_t>(step.bit);

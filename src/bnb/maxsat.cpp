@@ -64,7 +64,8 @@ MaxSatProblem::MaxSatProblem(std::uint64_t seed, MaxSatOptions opts)
 std::vector<std::int8_t> MaxSatProblem::assignment_of(
     const core::PathCode& code) const {
   std::vector<std::int8_t> assign(opts_.vars, -1);
-  for (const core::Branch& b : code.steps()) {
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const core::Branch b = code.step(i);
     FTBB_CHECK(b.var < opts_.vars);
     assign[b.var] = static_cast<std::int8_t>(b.bit);
   }
@@ -90,8 +91,8 @@ double MaxSatProblem::falsified_weight(
 
 std::uint64_t MaxSatProblem::path_hash(const core::PathCode& code) const {
   std::uint64_t h = mix(seed_ ^ 0x6d61787361745f32ull);  // "maxsat_2"
-  for (const core::Branch& b : code.steps()) {
-    h = mix(h ^ (((static_cast<std::uint64_t>(b.var) << 1) | b.bit) + 0x100ull));
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    h = mix(h ^ (static_cast<std::uint64_t>(code.word(i)) + 0x100ull));
   }
   return h;
 }

@@ -55,7 +55,8 @@ PartitionModel::PartitionModel(PartitionInstance instance, NodeCostModel cost)
 PartitionModel::State PartitionModel::replay(const core::PathCode& code) const {
   State s;
   s.remaining = instance_.total();
-  for (const core::Branch& step : code.steps()) {
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const core::Branch step = code.step(i);
     FTBB_CHECK_MSG(step.var == s.assigned, "partition code: out-of-order variable");
     FTBB_CHECK_MSG(step.var < instance_.values.size(), "partition code: bad variable");
     const std::int64_t v = instance_.values[step.var];

@@ -78,6 +78,12 @@ bool ActivePool::CodeLess::operator()(const Entry* a, const PathCode& c) const {
 bool ActivePool::CodeLess::operator()(const PathCode& c, const Entry* b) const {
   return c < b->item.code;
 }
+bool ActivePool::CodeLess::operator()(const Entry* a, const core::PathView& c) const {
+  return a->item.code.view() < c;
+}
+bool ActivePool::CodeLess::operator()(const core::PathView& c, const Entry* b) const {
+  return c < b->item.code.view();
+}
 
 // ---------------------------------------------------------------------------
 // Entry lifecycle
@@ -293,10 +299,21 @@ std::vector<Subproblem> ActivePool::prune_above(double threshold) {
 
 std::vector<Subproblem> ActivePool::remove_covered_by(
     std::span<const PathCode> regions) {
+  return remove_covered_impl(regions);
+}
+
+std::vector<Subproblem> ActivePool::remove_covered_by(
+    std::span<const core::PathView> regions) {
+  return remove_covered_impl(regions);
+}
+
+template <typename Region>
+std::vector<Subproblem> ActivePool::remove_covered_impl(
+    std::span<const Region> regions) {
   std::vector<Entry*> victims;
   if (indexed_) {
     maybe_flush_nursery();
-    for (const PathCode& region : regions) {
+    for (const Region& region : regions) {
       for (auto it = code_index_.lower_bound(region);
            it != code_index_.end() && region.contains((*it)->item.code); ++it) {
         victims.push_back(*it);
@@ -304,7 +321,7 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
     }
     maint_.sweep_entries_scanned += victims.size() + nursery_.size();
     for (Entry* e : nursery_) {
-      for (const PathCode& region : regions) {
+      for (const Region& region : regions) {
         if (region.contains(e->item.code)) {
           victims.push_back(e);
           break;
@@ -319,7 +336,7 @@ std::vector<Subproblem> ActivePool::remove_covered_by(
   } else {
     maint_.sweep_entries_scanned += heap_.size();
     for (const HeapSlot& s : heap_) {
-      for (const PathCode& region : regions) {
+      for (const Region& region : regions) {
         if (region.contains(s.e->item.code)) {
           victims.push_back(s.e);
           break;

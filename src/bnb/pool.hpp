@@ -129,6 +129,11 @@ class ActivePool {
   /// newly-covered regions; victims return in heap-array order.
   std::vector<Subproblem> remove_covered_by(std::span<const core::PathCode> regions);
 
+  /// Same sweep over non-owning views — the worker's hint path passes
+  /// zero-copy covering prefixes of codes it already holds. The views must
+  /// stay valid for the duration of the call.
+  std::vector<Subproblem> remove_covered_by(std::span<const core::PathView> regions);
+
   /// Removes every entry matching `victim`; returns the removed entries in
   /// heap-array order. Generic O(n) fallback — the worker hot paths use
   /// prune_above / remove_covered_by instead.
@@ -197,6 +202,8 @@ class ActivePool {
     bool operator()(const Entry* a, const Entry* b) const;
     bool operator()(const Entry* a, const core::PathCode& c) const;
     bool operator()(const core::PathCode& c, const Entry* b) const;
+    bool operator()(const Entry* a, const core::PathView& c) const;
+    bool operator()(const core::PathView& c, const Entry* b) const;
   };
 
   /// Index maintenance pays off only once scans get long; below this the
@@ -233,6 +240,11 @@ class ActivePool {
   void maybe_flush_nursery();
   /// Removes `e` from whichever side structure (tree or nursery) holds it.
   void untrack(Entry* e);
+
+  /// Shared body of the two remove_covered_by overloads; Region is PathCode
+  /// or PathView (identical comparisons either way).
+  template <typename Region>
+  std::vector<Subproblem> remove_covered_impl(std::span<const Region> regions);
 
   /// Removes the given entries from the pool and returns their items in
   /// heap-array order, compacting and re-heapifying exactly like the

@@ -76,10 +76,8 @@ ShiftyProblem::NodeInfo ShiftyProblem::info_of(const core::PathCode& code) const
   NodeInfo n;
   n.bound = 0.0;
   n.hash = mix(seed_ ^ 0x7368696674795f31ull);
-  std::size_t depth = 0;
-  for (const core::Branch& b : code.steps()) {
-    n = child_info(n, depth, b.var, b.bit);
-    ++depth;
+  for (std::size_t depth = 0; depth < code.depth(); ++depth) {
+    n = child_info(n, depth, code.var(depth), code.bit(depth));
   }
   return n;
 }

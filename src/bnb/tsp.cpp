@@ -1,0 +1,227 @@
+#include "bnb/tsp.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ftbb::bnb {
+
+namespace {
+
+/// splitmix64 finalizer: the matrix and every derived draw come from this,
+/// so the instance is a pure deterministic function of the seed.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0,1) from the top 53 bits — bit-stable across platforms.
+double u01(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+constexpr std::uint64_t kSaltWeight = 0x5be0cd19u;
+constexpr std::uint64_t kSaltCost = 0x9b05688cu;
+
+}  // namespace
+
+TspProblem::TspProblem(std::uint64_t seed, TspOptions opts)
+    : seed_(seed), opts_(opts) {
+  FTBB_CHECK_MSG(opts_.cities >= 4, "a tour needs at least 4 cities");
+  FTBB_CHECK_MSG(opts_.cities <= 10,
+                 "constructor enumerates (cities-1)! tours to pin the optimum");
+  const std::uint32_t n = opts_.cities;
+  const std::uint64_t base = mix(seed_ ^ 0x7473705f65646765ull);  // "tsp_edge"
+  dist_.assign(std::size_t{n} * n, 0.0);
+  incident_.assign(n, {});
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      const double w =
+          1.0 + 9.0 * u01(mix(base ^ (std::uint64_t{a} * n + b) ^ kSaltWeight));
+      dist_[std::size_t{a} * n + b] = w;
+      dist_[std::size_t{b} * n + a] = w;
+      incident_[a].push_back(static_cast<std::uint32_t>(edges_.size()));
+      incident_[b].push_back(static_cast<std::uint32_t>(edges_.size()));
+      edges_.push_back(Edge{a, b, w});
+    }
+  }
+
+  // Pin the optimum by enumerating every fixed-origin tour — an independent
+  // oracle that shares no code with the branch-and-bound machinery. Each
+  // tour's length is summed in ascending edge-index order, the same order
+  // the search accumulates included_w in, so the report's exact-equality
+  // optimum check is not at the mercy of float addition order.
+  const auto edge_index = [n](std::uint32_t a, std::uint32_t b) {
+    if (a > b) std::swap(a, b);
+    return std::size_t{a} * (2 * n - a - 1) / 2 + (b - a - 1);
+  };
+  std::vector<std::uint32_t> perm;
+  for (std::uint32_t c = 1; c < n; ++c) perm.push_back(c);
+  std::vector<char> in_tour(edges_.size());
+  do {
+    std::fill(in_tour.begin(), in_tour.end(), 0);
+    std::uint32_t prev = 0;
+    for (const std::uint32_t c : perm) {
+      in_tour[edge_index(prev, c)] = 1;
+      prev = c;
+    }
+    in_tour[edge_index(prev, 0)] = 1;
+    double len = 0.0;
+    for (std::size_t k = 0; k < edges_.size(); ++k) {
+      if (in_tour[k] != 0) len += edges_[k].w;
+    }
+    if (len < optimal_) optimal_ = len;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TspProblem::State TspProblem::state_of(const core::PathCode& code) const {
+  State s;
+  s.decision.assign(edges_.size(), -1);
+  s.deg.assign(opts_.cities, 0);
+  s.link.resize(opts_.cities);
+  for (std::uint32_t c = 0; c < opts_.cities; ++c) s.link[c] = c;
+  FTBB_CHECK_MSG(code.depth() <= edges_.size(),
+                 "TSP code deeper than the edge list");
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    FTBB_CHECK_MSG(code.var(i) == edge_var(edges_[i]),
+                   "TSP code branches on an unexpected edge");
+    if (code.bit(i) != 0) {
+      FTBB_CHECK_MSG(can_include(s, i), "TSP code includes an invalid edge");
+      include(s, i);
+    } else {
+      s.decision[i] = 0;
+    }
+  }
+  return s;
+}
+
+bool TspProblem::can_include(const State& s, std::size_t k) const {
+  const Edge& e = edges_[k];
+  if (s.deg[e.a] >= 2 || s.deg[e.b] >= 2) return false;
+  // Closing a cycle is only the final (cities-th) edge's privilege; before
+  // that the two endpoints joining the same included path is a subtour.
+  if (s.link[e.a] == e.b && s.included + 1 < opts_.cities) return false;
+  return true;
+}
+
+void TspProblem::include(State& s, std::size_t k) const {
+  const Edge& e = edges_[k];
+  s.decision[k] = 1;
+  s.included_w += e.w;
+  ++s.included;
+  ++s.deg[e.a];
+  ++s.deg[e.b];
+  const std::uint32_t far_a = s.link[e.a];
+  const std::uint32_t far_b = s.link[e.b];
+  s.link[far_a] = far_b;
+  s.link[far_b] = far_a;
+}
+
+double TspProblem::completion_bound(const State& s) const {
+  // Each city still needs (2 - deg) incident edges; counting the cheapest
+  // candidates half each (every tour edge serves two cities) stays below any
+  // completion. A city that cannot reach degree 2 proves the region empty.
+  double half_sum = 0.0;
+  for (std::uint32_t c = 0; c < opts_.cities; ++c) {
+    int need = 2 - static_cast<int>(s.deg[c]);
+    if (need <= 0) continue;
+    double best = kInfinity;
+    double second = kInfinity;
+    for (const std::uint32_t k : incident_[c]) {
+      if (s.decision[k] != -1) continue;
+      const double w = edges_[k].w;
+      if (w < best) {
+        second = best;
+        best = w;
+      } else if (w < second) {
+        second = w;
+      }
+    }
+    if (need >= 1) {
+      if (best == kInfinity) return kInfinity;
+      half_sum += best;
+    }
+    if (need == 2) {
+      if (second == kInfinity) return kInfinity;
+      half_sum += second;
+    }
+  }
+  return s.included_w + 0.5 * half_sum;
+}
+
+std::uint64_t TspProblem::path_hash(const core::PathCode& code) const {
+  std::uint64_t h = mix(seed_ ^ 0x7473705f70617468ull);  // "tsp_path"
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    h = mix(h ^ (static_cast<std::uint64_t>(code.word(i)) + 0x100ull));
+  }
+  return h;
+}
+
+double TspProblem::root_bound() const {
+  State s;
+  s.decision.assign(edges_.size(), -1);
+  s.deg.assign(opts_.cities, 0);
+  s.link.resize(opts_.cities);
+  for (std::uint32_t c = 0; c < opts_.cities; ++c) s.link[c] = c;
+  return completion_bound(s);
+}
+
+NodeEval TspProblem::eval(const core::PathCode& code) const {
+  State s = state_of(code);
+  NodeEval out;
+  // Same deterministic jitter shape as the other synthetic models.
+  out.cost = opts_.cost_mean * (0.75 + 0.5 * u01(mix(path_hash(code) ^ kSaltCost)));
+  if (s.included == opts_.cities) {
+    // Degree and subtour invariants make n included edges a Hamiltonian
+    // cycle; the remaining edges are implicitly excluded.
+    out.feasible_leaf = true;
+    out.value = s.included_w;
+    return out;
+  }
+  const std::size_t k = code.depth();
+  if (k >= edges_.size()) return out;  // every edge decided, no tour: dead end
+  const Edge& e = edges_[k];
+
+  // bit 0: exclude edge k. Infeasible when an endpoint can no longer reach
+  // degree 2 (the completion bound of the child detects exactly that).
+  {
+    ChildOut c;
+    c.var = edge_var(e);
+    c.bit = 0;
+    s.decision[k] = 0;
+    c.bound = completion_bound(s);
+    s.decision[k] = -1;
+    c.infeasible = c.bound == kInfinity;
+    out.children.push_back(c);
+  }
+  // bit 1: include edge k.
+  {
+    ChildOut c;
+    c.var = edge_var(e);
+    c.bit = 1;
+    if (!can_include(s, k)) {
+      c.infeasible = true;
+      c.bound = kInfinity;
+    } else {
+      State child = s;
+      include(child, k);
+      c.bound = completion_bound(child);
+      c.infeasible = c.bound == kInfinity;
+    }
+    out.children.push_back(c);
+  }
+  return out;
+}
+
+double TspProblem::bound_of(const core::PathCode& code) const {
+  return completion_bound(state_of(code));
+}
+
+std::string TspProblem::name() const {
+  return "tsp(n=" + std::to_string(opts_.cities) +
+         ",seed=" + std::to_string(seed_) + ")";
+}
+
+}  // namespace ftbb::bnb

@@ -107,7 +107,8 @@ void VertexCoverModel::apply(State& s, const Graph& g, std::uint32_t v,
 VertexCoverModel::State VertexCoverModel::replay(const core::PathCode& code) const {
   State s;
   s.status.assign(graph_.n, kUnset);
-  for (const core::Branch& step : code.steps()) {
+  for (std::size_t i = 0; i < code.depth(); ++i) {
+    const core::Branch step = code.step(i);
     FTBB_CHECK_MSG(step.var < graph_.n, "vertex-cover code: bad variable");
     apply(s, graph_, step.var, step.bit);
   }

@@ -13,6 +13,13 @@ void CodeSet::clear() {
   body_bytes_ = 0;
   live_nodes_ = 0;
   root_complete_ = false;
+  ++version_;
+  // Release memo storage: a cleared table (worker restart, scratch reuse)
+  // should not pin the previous incarnation's contracted list.
+  export_memo_.clear();
+  export_memo_.shrink_to_fit();
+  complement_memo_.clear();
+  complement_memo_.shrink_to_fit();
   // Node 0 is always the root problem.
   nodes_.push_back(Node{});
   nodes_[0].in_use = true;
@@ -104,40 +111,45 @@ void CodeSet::mark_complete(std::int32_t idx, InsertResult& res) {
   }
 }
 
-CodeSet::InsertResult CodeSet::insert(const PathCode& code) {
+CodeSet::InsertResult CodeSet::insert(PathView code) {
   InsertResult res;
   std::int32_t cur = 0;
   for (std::size_t i = 0; i < code.depth(); ++i) {
     Node& n = nodes_[static_cast<std::size_t>(cur)];
     ++res.nodes_walked;
     if (n.complete) return res;  // covered by an ancestor; nothing to do
-    const Branch& step = code.step(i);
+    const std::uint32_t var = code.var(i);
+    const std::uint8_t bit = code.bit(i);
     if (n.var == kNoVar) {
-      n.var = step.var;
+      n.var = var;
     } else {
-      FTBB_CHECK_MSG(n.var == step.var,
+      FTBB_CHECK_MSG(n.var == var,
                      "CodeSet: codes disagree on a node's branching variable "
                      "(codes must come from one search tree)");
     }
-    std::int32_t next = n.child[step.bit];
+    std::int32_t next = n.child[bit];
     if (next < 0) {
       next = alloc_node();
       Node& parent = nodes_[static_cast<std::size_t>(cur)];  // realloc-safe refetch
       Node& child = nodes_[static_cast<std::size_t>(next)];
       child.parent = cur;
-      child.bit_in_parent = step.bit;
+      child.bit_in_parent = bit;
       child.depth = parent.depth + 1;
       child.body_bytes =
           parent.body_bytes +
-          static_cast<std::uint32_t>(support::varint_size(
-              (static_cast<std::uint64_t>(step.var) << 1) | step.bit));
-      parent.child[step.bit] = next;
+          static_cast<std::uint32_t>(support::varint_size(code.word(i)));
+      parent.child[bit] = next;
     }
     cur = next;
   }
   ++res.nodes_walked;
   if (nodes_[static_cast<std::size_t>(cur)].complete) return res;
   res.newly_covered = true;
+  // The trie changes iff the code is newly covered: fresh nodes are only
+  // allocated along a path whose endpoint was not yet complete (and then
+  // that endpoint is completed right here), so no-op inserts — common when
+  // stale gossip re-reports known completions — keep the memos warm.
+  ++version_;
   mark_complete(cur, res);
   return res;
 }
@@ -153,90 +165,134 @@ CodeSet::InsertResult CodeSet::insert_all(const std::vector<PathCode>& codes) {
   return total;
 }
 
-bool CodeSet::covered(const PathCode& code) const {
+bool CodeSet::covered(PathView code) const {
   std::int32_t cur = 0;
   for (std::size_t i = 0; i < code.depth(); ++i) {
     const Node& n = nodes_[static_cast<std::size_t>(cur)];
     if (n.complete) return true;
-    const Branch& step = code.step(i);
-    if (n.var != kNoVar && n.var != step.var) return false;  // different tree region knowledge
-    const std::int32_t next = n.child[step.bit];
+    if (n.var != kNoVar && n.var != code.var(i)) return false;  // different tree region knowledge
+    const std::int32_t next = n.child[code.bit(i)];
     if (next < 0) return false;
     cur = next;
   }
   return nodes_[static_cast<std::size_t>(cur)].complete;
 }
 
-std::optional<PathCode> CodeSet::covering_code(const PathCode& code) const {
+std::optional<std::size_t> CodeSet::covering_prefix_len(PathView code) const {
   std::int32_t cur = 0;
   for (std::size_t i = 0; i < code.depth(); ++i) {
     const Node& n = nodes_[static_cast<std::size_t>(cur)];
-    if (n.complete) return code.prefix(i);
-    const Branch& step = code.step(i);
-    if (n.var != kNoVar && n.var != step.var) return std::nullopt;
-    const std::int32_t next = n.child[step.bit];
+    if (n.complete) return i;
+    if (n.var != kNoVar && n.var != code.var(i)) return std::nullopt;
+    const std::int32_t next = n.child[code.bit(i)];
     if (next < 0) return std::nullopt;
     cur = next;
   }
-  if (nodes_[static_cast<std::size_t>(cur)].complete) return code;
+  if (nodes_[static_cast<std::size_t>(cur)].complete) return code.depth();
   return std::nullopt;
 }
 
+std::optional<PathCode> CodeSet::covering_code(PathView code) const {
+  const std::optional<std::size_t> len = covering_prefix_len(code);
+  if (!len.has_value()) return std::nullopt;
+  return PathCode(code.prefix(*len));
+}
 
-void CodeSet::export_dfs(std::int32_t idx, std::vector<Branch>& path,
-                         std::vector<PathCode>& out) const {
-  const Node& n = nodes_[static_cast<std::size_t>(idx)];
-  if (n.complete) {
-    out.emplace_back(path);
+
+void CodeSet::emit(const PathCode& path, std::vector<PathCode>& out,
+                   std::size_t& n) {
+  if (n < out.size()) {
+    out[n] = path;  // copy-assign recycles the element's heap capacity
+  } else {
+    out.push_back(path);
+  }
+  ++n;
+}
+
+void CodeSet::copy_codes(const std::vector<PathCode>& src,
+                         std::vector<PathCode>& out) {
+  out.reserve(src.size());
+  const std::size_t common = std::min(src.size(), out.size());
+  for (std::size_t i = 0; i < common; ++i) out[i] = src[i];
+  for (std::size_t i = common; i < src.size(); ++i) out.push_back(src[i]);
+  out.resize(src.size());
+}
+
+void CodeSet::export_dfs(std::int32_t idx, PathCode& path,
+                         std::vector<PathCode>& out, std::size_t& n) const {
+  const Node& node = nodes_[static_cast<std::size_t>(idx)];
+  if (node.complete) {
+    emit(path, out, n);
     return;
   }
-  for (int bit = 0; bit < 2; ++bit) {
-    const std::int32_t c = n.child[bit];
+  for (std::uint32_t bit = 0; bit < 2; ++bit) {
+    const std::int32_t c = node.child[bit];
     if (c < 0) continue;
-    path.push_back(Branch{n.var, static_cast<std::uint8_t>(bit)});
-    export_dfs(c, path, out);
-    path.pop_back();
+    // Unchecked push: node.var was validated when the trie learned it.
+    path.push_word((node.var << 1) | bit);
+    export_dfs(c, path, out, n);
+    path.pop_step();
   }
+}
+
+void CodeSet::export_into(std::vector<PathCode>& out) const {
+  if (export_memo_version_ != version_) {
+    export_memo_.reserve(complete_count_);
+    std::size_t n = 0;
+    PathCode path;
+    export_dfs(0, path, export_memo_, n);
+    export_memo_.resize(n);
+    export_memo_version_ = version_;
+  }
+  copy_codes(export_memo_, out);
 }
 
 std::vector<PathCode> CodeSet::export_codes() const {
   std::vector<PathCode> out;
-  out.reserve(complete_count_);
-  std::vector<Branch> path;
-  export_dfs(0, path, out);
+  export_into(out);
   return out;
 }
 
-void CodeSet::complement_dfs(std::int32_t idx, std::vector<Branch>& path,
-                             std::vector<PathCode>& out) const {
-  const Node& n = nodes_[static_cast<std::size_t>(idx)];
-  if (n.complete) return;
-  if (n.var == kNoVar) {
+void CodeSet::complement_dfs(std::int32_t idx, PathCode& path,
+                             std::vector<PathCode>& out, std::size_t& n) const {
+  const Node& node = nodes_[static_cast<std::size_t>(idx)];
+  if (node.complete) return;
+  if (node.var == kNoVar) {
     // No completion was ever reported below this node: the whole region is
     // uncovered. (Only reachable for the empty table's root.)
-    out.emplace_back(path);
+    emit(path, out, n);
     return;
   }
-  for (int bit = 0; bit < 2; ++bit) {
-    const std::int32_t c = n.child[bit];
+  for (std::uint32_t bit = 0; bit < 2; ++bit) {
+    const std::int32_t c = node.child[bit];
     if (c < 0) {
       // The sibling region never mentioned in any report; its tree node
-      // exists because this node was expanded on n.var.
-      path.push_back(Branch{n.var, static_cast<std::uint8_t>(bit)});
-      out.emplace_back(path);
-      path.pop_back();
+      // exists because this node was expanded on node.var.
+      path.push_word((node.var << 1) | bit);
+      emit(path, out, n);
+      path.pop_step();
     } else if (!nodes_[static_cast<std::size_t>(c)].complete) {
-      path.push_back(Branch{n.var, static_cast<std::uint8_t>(bit)});
-      complement_dfs(c, path, out);
-      path.pop_back();
+      path.push_word((node.var << 1) | bit);
+      complement_dfs(c, path, out, n);
+      path.pop_step();
     }
   }
 }
 
+void CodeSet::complement_into(std::vector<PathCode>& out) const {
+  if (complement_memo_version_ != version_) {
+    std::size_t n = 0;
+    PathCode path;
+    complement_dfs(0, path, complement_memo_, n);
+    complement_memo_.resize(n);
+    complement_memo_version_ = version_;
+  }
+  copy_codes(complement_memo_, out);
+}
+
 std::vector<PathCode> CodeSet::complement() const {
   std::vector<PathCode> out;
-  std::vector<Branch> path;
-  complement_dfs(0, path, out);
+  complement_into(out);
   return out;
 }
 

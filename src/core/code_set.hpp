@@ -49,20 +49,27 @@ class CodeSet {
 
   CodeSet();
 
-  /// Records `code` as completed; contracts upward. Idempotent.
-  InsertResult insert(const PathCode& code);
+  /// Records `code` as completed; contracts upward. Idempotent. Takes a
+  /// view (a PathCode converts implicitly): the walk only reads steps.
+  InsertResult insert(PathView code);
 
   /// Inserts every code of a report/table snapshot; returns summed stats and
   /// whether anything changed.
   InsertResult insert_all(const std::vector<PathCode>& codes);
 
   /// True when `code` or one of its ancestors is recorded completed.
-  [[nodiscard]] bool covered(const PathCode& code) const;
+  [[nodiscard]] bool covered(PathView code) const;
 
   /// The maximal completed code covering `code` (itself or its highest
   /// completed ancestor), or nullopt when uncovered. Work reports use this
   /// to ship the most contracted representative of each fresh completion.
-  [[nodiscard]] std::optional<PathCode> covering_code(const PathCode& code) const;
+  [[nodiscard]] std::optional<PathCode> covering_code(PathView code) const;
+
+  /// Length of the covering prefix: covering_code(code) is always
+  /// code.prefix(*covering_prefix_len(code)), so callers that only need the
+  /// region — not an owned copy — take the zero-copy view code.prefix(len).
+  [[nodiscard]] std::optional<std::size_t> covering_prefix_len(
+      PathView code) const;
 
   /// Termination predicate: the table contracted to the root code.
   /// Defined inline below the class: every scheduling step polls it, and a
@@ -73,12 +80,24 @@ class CodeSet {
   /// (left branch first). This is what a full-table gossip message carries.
   [[nodiscard]] std::vector<PathCode> export_codes() const;
 
+  /// export_codes() into a caller-owned buffer. Existing elements are
+  /// overwritten in place (copy-assign reuses each element's heap capacity)
+  /// and the vector is resized to the result, so a worker passing the same
+  /// scratch vector every report/gossip cycle reaches a zero-allocation
+  /// steady state even for codes deeper than the inline buffer.
+  void export_into(std::vector<PathCode>& out) const;
+
   /// Maximal regions of the tree *not* covered by this table: for every
   /// incomplete trie node, branches that were never reported under. Each
   /// returned code is a real tree node (see file comment). The root-only
   /// answer {()} is returned for an empty table. Returns {} iff the root is
   /// complete.
   [[nodiscard]] std::vector<PathCode> complement() const;
+
+  /// complement() into a caller-owned buffer — the recovery path's
+  /// scratch-reusing variant, with the same overwrite-in-place contract as
+  /// export_into().
+  void complement_into(std::vector<PathCode>& out) const;
 
   /// Number of codes in the contracted representation.
   [[nodiscard]] std::size_t code_count() const { return complete_count_; }
@@ -129,16 +148,35 @@ class CodeSet {
   void drop_completed_below(std::int32_t idx);  // accounting for subsumed codes
   void mark_complete(std::int32_t idx, InsertResult& res);
 
-  void export_dfs(std::int32_t idx, std::vector<Branch>& path,
-                  std::vector<PathCode>& out) const;
-  void complement_dfs(std::int32_t idx, std::vector<Branch>& path,
-                      std::vector<PathCode>& out) const;
+  /// Appends `path` at out[n++], overwriting a previous element when one
+  /// exists so its heap capacity is recycled.
+  static void emit(const PathCode& path, std::vector<PathCode>& out,
+                   std::size_t& n);
+  /// Element-wise copy with the same capacity-recycling contract as emit().
+  static void copy_codes(const std::vector<PathCode>& src,
+                         std::vector<PathCode>& out);
+  void export_dfs(std::int32_t idx, PathCode& path,
+                  std::vector<PathCode>& out, std::size_t& n) const;
+  void complement_dfs(std::int32_t idx, PathCode& path,
+                      std::vector<PathCode>& out, std::size_t& n) const;
 
   std::vector<Node> nodes_;
   std::vector<std::int32_t> free_list_;
   std::size_t complete_count_ = 0;
   std::size_t body_bytes_ = 0;  // sum over completed leaves of code body+header bytes (see encoded_bytes)
   std::size_t live_nodes_ = 0;
+  /// Bumped by every mutation that changes the completed set. The export and
+  /// complement enumerations are memoized against it: a table gossiped to k
+  /// peers (or complemented repeatedly during recovery) between mutations
+  /// walks the trie once and serves the next k-1 calls from the memo as a
+  /// flat element-wise copy. The memos cost one contracted list each — small
+  /// by design (compactness of the contracted form is the paper's Table 1
+  /// point) — and are lazily built, so tables that never export pay nothing.
+  std::uint64_t version_ = 0;
+  mutable std::vector<PathCode> export_memo_;
+  mutable std::uint64_t export_memo_version_ = ~std::uint64_t{0};
+  mutable std::vector<PathCode> complement_memo_;
+  mutable std::uint64_t complement_memo_version_ = ~std::uint64_t{0};
   /// Mirrors nodes_[0].complete. The termination predicate is polled on
   /// every scheduling step; reading it from the CodeSet object itself (hot
   /// next to the owning worker's state) skips a dependent load into the

@@ -45,10 +45,6 @@ namespace {
          raw <= static_cast<std::uint8_t>(MsgType::kRootReport);
 }
 
-[[nodiscard]] std::uint64_t pack(const Branch& b) {
-  return (static_cast<std::uint64_t>(b.var) << 1) | b.bit;
-}
-
 /// Resolved delta decisions for one report frame: the wire sequence and the
 /// chain base (nullptr when the chain starts at the empty root code).
 struct ReportPlan {
@@ -79,16 +75,16 @@ ReportPlan plan_report(const Message& msg, ReportDeltaState* state) {
 }
 
 /// One code as (trim, add, steps...) against the previous code in the chain.
+/// Straight off the packed words: the per-step wire varint IS the stored
+/// word, and the shared prefix is a word comparison.
 void encode_delta(const PathCode& prev, const PathCode& code,
                   support::ByteWriter& w) {
-  const std::vector<Branch>& a = prev.steps();
-  const std::vector<Branch>& b = code.steps();
   std::size_t lcp = 0;
-  const std::size_t cap = std::min(a.size(), b.size());
-  while (lcp < cap && a[lcp] == b[lcp]) ++lcp;
-  w.varint(a.size() - lcp);  // decisions to trim off the previous code
-  w.varint(b.size() - lcp);  // decisions appended after the shared prefix
-  for (std::size_t i = lcp; i < b.size(); ++i) w.varint(pack(b[i]));
+  const std::size_t cap = std::min(prev.depth(), code.depth());
+  while (lcp < cap && prev.word(lcp) == code.word(lcp)) ++lcp;
+  w.varint(prev.depth() - lcp);  // decisions to trim off the previous code
+  w.varint(code.depth() - lcp);  // decisions appended after the shared prefix
+  for (std::size_t i = lcp; i < code.depth(); ++i) w.varint(code.word(i));
 }
 
 PathCode decode_delta(const PathCode& prev, support::ByteReader& r) {
@@ -105,20 +101,18 @@ PathCode decode_delta(const PathCode& prev, support::ByteReader& r) {
     return PathCode{};
   }
   if (!r.fits_count(add)) return PathCode{};
-  std::vector<Branch> steps(prev.steps().begin(),
-                            prev.steps().begin() + static_cast<std::ptrdiff_t>(keep));
-  steps.reserve(static_cast<std::size_t>(keep + add));
+  PathCode out(prev.view().prefix(static_cast<std::size_t>(keep)));
+  out.reserve(static_cast<std::size_t>(keep + add));
   for (std::uint64_t i = 0; i < add; ++i) {
     const std::uint64_t packed = r.varint();
     if (!r.ok()) return PathCode{};
-    if ((packed >> 1) > 0xffffffffULL) {
+    if ((packed >> 1) > static_cast<std::uint64_t>(PathCode::kMaxVar)) {
       r.mark_corrupt("report delta: variable index overflow");
       return PathCode{};
     }
-    steps.push_back(Branch{static_cast<std::uint32_t>(packed >> 1),
-                           static_cast<std::uint8_t>(packed & 1)});
+    out.push_word(static_cast<std::uint32_t>(packed));
   }
-  return PathCode(std::move(steps));
+  return out;
 }
 
 void write_v1_payload(const Message& msg, const ReportPlan& plan,

@@ -3,10 +3,8 @@
 namespace ftbb::core {
 
 void PathCode::encode(support::ByteWriter& w) const {
-  w.varint(steps_.size());
-  for (const Branch& b : steps_) {
-    w.varint((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
-  }
+  w.varint(depth());
+  for (std::size_t i = 0; i < depth(); ++i) w.varint(word(i));
 }
 
 PathCode PathCode::decode(support::ByteReader& r) {
@@ -15,51 +13,35 @@ PathCode PathCode::decode(support::ByteReader& r) {
   // Every step is at least one input byte: a hostile count cannot make the
   // reserve() below allocate past the input size.
   if (!r.fits_count(n) || !r.ok()) return PathCode{};
-  std::vector<Branch> steps;
-  steps.reserve(n);
+  PathCode out;
+  out.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t packed = r.varint();
     if (!r.ok()) return PathCode{};
-    if ((packed >> 1) > 0xffffffffULL) {
+    if ((packed >> 1) > static_cast<std::uint64_t>(kMaxVar)) {
       r.mark_corrupt("PathCode: variable index overflow");
       return PathCode{};
     }
-    steps.push_back(Branch{static_cast<std::uint32_t>(packed >> 1),
-                           static_cast<std::uint8_t>(packed & 1)});
+    out.push_word(static_cast<std::uint32_t>(packed));
   }
-  return PathCode(std::move(steps));
+  return out;
 }
 
 std::size_t PathCode::encoded_size() const {
-  std::size_t n = support::varint_size(steps_.size());
-  for (const Branch& b : steps_) {
-    n += support::varint_size((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
-  }
+  std::size_t n = support::varint_size(depth());
+  for (std::size_t i = 0; i < depth(); ++i) n += support::varint_size(word(i));
   return n;
 }
 
 std::string PathCode::to_string() const {
-  if (steps_.empty()) return "()";
+  if (is_root()) return "()";
   std::string s = "(";
-  for (std::size_t i = 0; i < steps_.size(); ++i) {
+  for (std::size_t i = 0; i < depth(); ++i) {
     if (i) s += ",";
-    s += "<x" + std::to_string(steps_[i].var) + "," + std::to_string(int(steps_[i].bit)) + ">";
+    s += "<x" + std::to_string(var(i)) + "," + std::to_string(int(bit(i))) + ">";
   }
   s += ")";
   return s;
-}
-
-std::size_t PathCode::hash() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  for (const Branch& b : steps_) {
-    mix((static_cast<std::uint64_t>(b.var) << 1) | b.bit);
-  }
-  mix(steps_.size());
-  return static_cast<std::size_t>(h);
 }
 
 }  // namespace ftbb::core

@@ -210,32 +210,42 @@ void BnbWorker::prune_pool_by_bound() {
 }
 
 void BnbWorker::prune_pool_covered(const std::vector<PathCode>& just_inserted) {
-  std::vector<PathCode> regions = std::move(pending_cover_hints_);
-  pending_cover_hints_.clear();
   const bool overflowed = cover_hints_overflowed_;
   cover_hints_overflowed_ = false;
-  if (pool_.empty()) return;
+  if (pool_.empty()) {
+    pending_cover_hints_.clear();
+    return;
+  }
   if (!pool_.indexed() || overflowed) {
     // Small pool (or an abandoned hint record): one completion-trie walk
     // per entry beats materializing covering regions, and it is the
     // always-correct fallback when the hint record is incomplete.
+    pending_cover_hints_.clear();
     const auto removed = pool_.remove_if(
         [this](const bnb::Subproblem& p) { return table_.covered(p.code); });
     stats_.covered_skips += removed.size();
     return;
   }
-  regions.insert(regions.end(), just_inserted.begin(), just_inserted.end());
-  // Map every hint to the maximal region the table contracted it into; the
-  // covering codes of one table form an antichain, so after dedup each
-  // region is scanned at most once.
-  for (PathCode& c : regions) {
-    std::optional<PathCode> cover = table_.covering_code(c);
-    if (cover.has_value()) c = std::move(*cover);
-  }
-  std::sort(regions.begin(), regions.end());
-  regions.erase(std::unique(regions.begin(), regions.end()), regions.end());
-  const auto removed = pool_.remove_covered_by(regions);
+  // Map every hint to the maximal region the table contracted it into. A
+  // covering code is always a prefix of the query, so each region is a
+  // zero-copy view into the hint (or report code) it came from; the hints
+  // and msg.codes outlive the sweep. Covering codes of one table form an
+  // antichain, so after dedup each region is scanned at most once.
+  cover_regions_.clear();
+  cover_regions_.reserve(pending_cover_hints_.size() + just_inserted.size());
+  const auto add_region = [this](const PathCode& c) {
+    const std::optional<std::size_t> len = table_.covering_prefix_len(c);
+    cover_regions_.push_back(c.view().prefix(len.value_or(c.depth())));
+  };
+  for (const PathCode& c : pending_cover_hints_) add_region(c);
+  for (const PathCode& c : just_inserted) add_region(c);
+  std::sort(cover_regions_.begin(), cover_regions_.end());
+  cover_regions_.erase(std::unique(cover_regions_.begin(), cover_regions_.end()),
+                       cover_regions_.end());
+  const auto removed = pool_.remove_covered_by(
+      std::span<const PathView>(cover_regions_));
   stats_.covered_skips += removed.size();
+  pending_cover_hints_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -244,7 +254,8 @@ void BnbWorker::prune_pool_covered(const std::vector<PathCode>& just_inserted) {
 
 void BnbWorker::send_report() {
   if (fresh_.empty()) return;
-  std::vector<PathCode> codes;
+  std::vector<PathCode>& codes = msg_codes_scratch_;
+  codes.clear();
   codes.reserve(fresh_.size());
   if (config_.compress_against_table) {
     // Ship the maximal covering code the table knows for each fresh
@@ -260,15 +271,17 @@ void BnbWorker::send_report() {
     std::sort(codes.begin(), codes.end());
     codes.erase(std::unique(codes.begin(), codes.end()), codes.end());
   } else {
-    // Paper-literal scheme: contract the list against itself only.
-    CodeSet tmp;
+    // Paper-literal scheme: contract the list against itself only (in the
+    // per-worker scratch trie; clear() keeps its node storage).
+    CodeSet& tmp = report_contract_scratch_;
+    tmp.clear();
     const CodeSet::InsertResult r = tmp.insert_all(fresh_);
     note_contraction(fresh_.size(),
                      static_cast<std::uint64_t>(r.nodes_walked + r.merges));
     env_->charge(CostKind::kContraction,
                  config_.costs.contract_per_code * static_cast<double>(fresh_.size()) +
                      config_.costs.contract_per_node * (r.nodes_walked + r.merges));
-    codes = tmp.export_codes();
+    tmp.export_into(codes);
   }
 
   Message m;
@@ -288,6 +301,9 @@ void BnbWorker::send_report() {
     ++stats_.reports_sent;
     stats_.report_codes_sent += m.codes.size();
   }
+  // Reclaim the batch buffer for the next report (send() copies the
+  // message, so m still owns it here).
+  msg_codes_scratch_ = std::move(m.codes);
   fresh_.clear();
   flush_armed_ = false;
 }
@@ -299,13 +315,15 @@ void BnbWorker::send_table_gossip() {
   m.type = MsgType::kTableGossip;
   m.from = id_;
   m.best_known = incumbent_;
-  m.codes = table_.export_codes();
+  table_.export_into(msg_codes_scratch_);
+  m.codes = std::move(msg_codes_scratch_);
   m.report_seq = ++report_batches_;
   note_contraction(0, table_.trie_nodes());
   env_->charge(CostKind::kContraction,
                config_.costs.contract_per_node * static_cast<double>(table_.trie_nodes()));
   env_->send(peers[env_->rng().pick(peers.size())], m);
   ++stats_.table_gossips_sent;
+  msg_codes_scratch_ = std::move(m.codes);  // send() copied; reclaim the buffer
 }
 
 void BnbWorker::arm_flush_timer() {
@@ -532,7 +550,8 @@ void BnbWorker::recover() {
   // from scratch here.
   failed_attempts_ = 0;
   deny_streak_ = 0;
-  std::vector<PathCode> candidates = table_.complement();
+  table_.complement_into(complement_scratch_);
+  std::vector<PathCode>& candidates = complement_scratch_;
   note_contraction(0, table_.trie_nodes());
   env_->charge(CostKind::kContraction,
                config_.costs.contract_per_node * static_cast<double>(table_.trie_nodes()));

@@ -370,6 +370,18 @@ class BnbWorker {
   std::vector<PathCode> pending_cover_hints_;
   bool cover_hints_overflowed_ = false;
 
+  /// Steady-state scratch, one per worker: report/gossip code batches build
+  /// into msg_codes_scratch_ (reclaimed from the Message after the fanout
+  /// sends), recovery complements into complement_scratch_, covered sweeps
+  /// collect their region views in cover_regions_, and the paper-literal
+  /// report scheme contracts into report_contract_scratch_. None of these
+  /// change any observable behavior — they only keep the per-call
+  /// vector/trie allocations out of the hot loops.
+  std::vector<PathCode> msg_codes_scratch_;
+  std::vector<PathCode> complement_scratch_;
+  std::vector<PathView> cover_regions_;
+  CodeSet report_contract_scratch_;
+
   double incumbent_ = bnb::kInfinity;
   PathCode best_code_;
   bool have_feasible_ = false;

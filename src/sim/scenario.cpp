@@ -9,6 +9,7 @@
 #include "bnb/maxsat.hpp"
 #include "bnb/partition.hpp"
 #include "bnb/shifty.hpp"
+#include "bnb/tsp.hpp"
 #include "bnb/vertex_cover.hpp"
 #include "rt/runtime.hpp"
 #include "support/check.hpp"
@@ -260,6 +261,8 @@ const char* to_string(WorkloadKind kind) {
       return "shifty";
     case WorkloadKind::kMaxSat:
       return "max-sat";
+    case WorkloadKind::kTsp:
+      return "tsp";
   }
   return "?";
 }
@@ -311,6 +314,13 @@ Workload build_workload(const WorkloadSpec& spec) {
       opts.vars = spec.size;
       opts.cost_mean = spec.cost_mean;
       w.model = std::make_unique<bnb::MaxSatProblem>(spec.seed, opts);
+      break;
+    }
+    case WorkloadKind::kTsp: {
+      bnb::TspOptions opts;
+      opts.cities = spec.size;
+      opts.cost_mean = spec.cost_mean;
+      w.model = std::make_unique<bnb::TspProblem>(spec.seed, opts);
       break;
     }
   }

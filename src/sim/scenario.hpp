@@ -45,6 +45,7 @@ enum class WorkloadKind : std::uint8_t {
   kSyntheticTree = 3,
   kShifty = 4,  // adversarial mid-solve branching-factor shift (bnb/shifty.hpp)
   kMaxSat = 5,  // weighted random 3-CNF, minimize falsified weight (bnb/maxsat.hpp)
+  kTsp = 6,     // symmetric TSP, Little-style edge branching (bnb/tsp.hpp)
 };
 
 [[nodiscard]] const char* to_string(WorkloadKind kind);

@@ -89,6 +89,14 @@ TEST(Equivalence, MaxSatUnderLossyPlan) {
   expect_equivalent(WorkloadKind::kMaxSat, 14, 15);
 }
 
+TEST(Equivalence, TspUnderLossyPlan) {
+  // n = 8 keeps the per-backend runs fast; n = 9 (36 edges) pushes live
+  // codes past PathCode's inline buffer, so the heap-mode representation is
+  // exercised across every backend's wire and table path too.
+  expect_equivalent(WorkloadKind::kTsp, 8, 16);
+  expect_equivalent(WorkloadKind::kTsp, 9, 17);
+}
+
 // ---------------------------------------------------------------------------
 // Cross-substrate corpus agreement: every named FaultPlan replays on the rt
 // backend through the same ScenarioRunner entry point, and rt agrees with

@@ -1,0 +1,225 @@
+// Differential test: the packed small-buffer PathCode against the verbatim
+// seed vector<Branch> implementation (bench/legacy_path_code.hpp).
+//
+// Every golden ScenarioReport fingerprint depends on code ordering, equality,
+// hash values and wire bytes, so the packed rewrite must be value-identical —
+// not merely "equivalent" but the same strong ordering through every
+// tie-break, the same FNV hash including the final length mix, and the same
+// varint bytes. The tests drive both implementations with identical randomized
+// derivation streams (child/parent/sibling/prefix walks) across depth regimes
+// chosen to cross the inline->heap spill boundary (kInlineWords) in both
+// directions, and assert op-for-op identity on every observable.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/legacy_path_code.hpp"
+#include "core/path_code.hpp"
+#include "support/rng.hpp"
+
+namespace ftbb::core {
+namespace {
+
+using bench::LegacyPathCode;
+
+/// One mirrored code: the implementation under test and the seed oracle,
+/// always derived through the same operations.
+struct Pair {
+  PathCode packed;
+  LegacyPathCode legacy;
+};
+
+void expect_same(const Pair& p, const char* what) {
+  ASSERT_EQ(p.packed.depth(), p.legacy.depth()) << what;
+  EXPECT_EQ(p.packed.is_root(), p.legacy.is_root()) << what;
+  for (std::size_t i = 0; i < p.legacy.depth(); ++i) {
+    EXPECT_EQ(p.packed.step(i), p.legacy.step(i)) << what << " step " << i;
+    EXPECT_EQ(p.packed.var(i), p.legacy.step(i).var) << what;
+    EXPECT_EQ(p.packed.bit(i), p.legacy.step(i).bit) << what;
+  }
+  EXPECT_EQ(p.packed.hash(), p.legacy.hash()) << what;
+  EXPECT_EQ(p.packed.to_string(), p.legacy.to_string()) << what;
+  EXPECT_EQ(p.packed.encoded_size(), p.legacy.encoded_size()) << what;
+  support::ByteWriter wp;
+  support::ByteWriter wl;
+  p.packed.encode(wp);
+  p.legacy.encode(wl);
+  EXPECT_EQ(wp.data(), wl.data()) << what << " (wire bytes)";
+  // Round-trip through the packed decoder from legacy-produced bytes.
+  support::ByteReader r(wl.data());
+  const PathCode decoded = PathCode::decode(r);
+  EXPECT_TRUE(r.ok()) << what;
+  EXPECT_EQ(decoded, p.packed) << what << " (decode round-trip)";
+  EXPECT_EQ(decoded.hash(), p.packed.hash()) << what << " (decoded hash)";
+}
+
+/// Applies the same random derivation `steps` times to a mirrored pair,
+/// checking identity after every operation. `max_var` scales the variable
+/// draw; `deepen_bias` (out of 4) controls how often the walk descends, so
+/// callers can pin the walk near a chosen depth regime.
+void random_walk(std::uint64_t seed, int steps, std::uint32_t max_var,
+                 int deepen_bias) {
+  support::Rng rng(seed);
+  Pair cur;
+  std::vector<Pair> pool;  // snapshots for cross-code comparisons
+  for (int s = 0; s < steps; ++s) {
+    const std::uint64_t op = rng.next() % 4;
+    if (op < static_cast<std::uint64_t>(deepen_bias) || cur.packed.is_root()) {
+      const auto var = static_cast<std::uint32_t>(rng.next() % max_var);
+      const bool bit = (rng.next() & 1) != 0;
+      cur = Pair{cur.packed.child(var, bit), cur.legacy.child(var, bit)};
+    } else if (op == 3 && !cur.packed.is_root()) {
+      cur = Pair{cur.packed.parent(), cur.legacy.parent()};
+    } else {
+      cur = Pair{cur.packed.sibling(), cur.legacy.sibling()};
+    }
+    expect_same(cur, "walk");
+    if (s % 7 == 0) {
+      const std::size_t n = rng.next() % (cur.packed.depth() + 1);
+      const Pair pre{cur.packed.prefix(n), cur.legacy.prefix(n)};
+      expect_same(pre, "prefix");
+      pool.push_back(pre);
+    }
+    pool.push_back(cur);
+    // Pairwise relations: ordering, equality, containment must agree with
+    // the oracle for every snapshot pair seen so far (capped for runtime).
+    const std::size_t m = pool.size() > 24 ? 24 : pool.size();
+    for (std::size_t i = pool.size() - m; i < pool.size(); ++i) {
+      const Pair& a = pool[i];
+      EXPECT_EQ(a.packed == cur.packed, a.legacy == cur.legacy);
+      EXPECT_EQ(a.packed < cur.packed, a.legacy < cur.legacy);
+      EXPECT_EQ(a.packed <=> cur.packed, a.legacy <=> cur.legacy);
+      EXPECT_EQ(a.packed.contains(cur.packed), a.legacy.contains(cur.legacy));
+      EXPECT_EQ(cur.packed.contains(a.packed), cur.legacy.contains(a.legacy));
+      EXPECT_EQ(a.packed.is_ancestor_of(cur.packed),
+                a.legacy.is_ancestor_of(cur.legacy));
+    }
+  }
+}
+
+TEST(PathCodeDiff, ShallowRegimeStaysInline) {
+  // Bias toward parent/sibling keeps the walk at depths well inside
+  // kInlineWords; vars span the single-byte varint range.
+  random_walk(/*seed=*/101, /*steps=*/400, /*max_var=*/50, /*deepen_bias=*/2);
+}
+
+TEST(PathCodeDiff, SpillBoundaryRegime) {
+  // A descend-heavy walk oscillating right around kInlineWords: codes cross
+  // inline->heap on child() and heap->inline on parent() repeatedly.
+  support::Rng rng(202);
+  Pair cur;
+  for (std::uint32_t d = 0; d < PathCode::kInlineWords - 1; ++d) {
+    cur = Pair{cur.packed.child(d, d % 2 != 0), cur.legacy.child(d, d % 2 != 0)};
+  }
+  for (int s = 0; s < 600; ++s) {
+    if ((rng.next() & 1) != 0 ||
+        cur.packed.depth() < PathCode::kInlineWords - 2) {
+      const auto var = static_cast<std::uint32_t>(rng.next() % 1000);
+      cur = Pair{cur.packed.child(var, (s & 1) != 0),
+                 cur.legacy.child(var, (s & 1) != 0)};
+    } else {
+      cur = Pair{cur.packed.parent(), cur.legacy.parent()};
+    }
+    expect_same(cur, "spill boundary");
+    const Pair sib{cur.packed.sibling(), cur.legacy.sibling()};
+    expect_same(sib, "spill sibling");
+    EXPECT_EQ(sib.packed < cur.packed, sib.legacy < cur.legacy);
+  }
+}
+
+TEST(PathCodeDiff, DeepRegime) {
+  random_walk(/*seed=*/303, /*steps=*/300, /*max_var=*/100000,
+              /*deepen_bias=*/3);
+}
+
+TEST(PathCodeDiff, VeryDeepRegime512) {
+  // Straight descent to depth 512 (far past the inline buffer, multiple
+  // geometric regrowths), then checks along the way back up.
+  support::Rng rng(404);
+  Pair cur;
+  std::vector<Pair> trail;
+  for (int d = 0; d < 512; ++d) {
+    const auto var = static_cast<std::uint32_t>(rng.next() % 3000000);
+    const bool bit = (rng.next() & 1) != 0;
+    cur = Pair{cur.packed.child(var, bit), cur.legacy.child(var, bit)};
+    if (d % 64 == 0) trail.push_back(cur);
+  }
+  expect_same(cur, "depth 512");
+  for (const Pair& t : trail) {
+    EXPECT_TRUE(t.legacy.contains(cur.legacy));
+    EXPECT_TRUE(t.packed.contains(cur.packed));
+    EXPECT_EQ(t.packed < cur.packed, t.legacy < cur.legacy);
+  }
+  while (!cur.packed.is_root()) {
+    cur = Pair{cur.packed.parent(), cur.legacy.parent()};
+    if (cur.packed.depth() % 37 == 0) expect_same(cur, "ascent");
+  }
+  expect_same(cur, "back at root");
+}
+
+TEST(PathCodeDiff, LargeVariableIndices) {
+  // Multi-byte varints: vars up to the packed representation's kMaxVar.
+  const std::uint32_t vars[] = {0,        1,         63,         64,
+                                8191,     8192,      1000000,    (1u << 24),
+                                (1u << 30), PathCode::kMaxVar};
+  Pair cur;
+  for (const std::uint32_t v : vars) {
+    cur = Pair{cur.packed.child(v, v % 2 != 0), cur.legacy.child(v, v % 2 != 0)};
+    expect_same(cur, "large vars");
+  }
+}
+
+TEST(PathCodeDiff, HashMatchesOnEveryPrefix) {
+  // The packed hash is maintained incrementally (and inverted by parent());
+  // pin it against the oracle's from-scratch walk at every depth 0..300.
+  support::Rng rng(505);
+  Pair cur;
+  EXPECT_EQ(cur.packed.hash(), cur.legacy.hash());
+  for (int d = 0; d < 300; ++d) {
+    const auto var = static_cast<std::uint32_t>(rng.next() % 1000000);
+    const bool bit = (rng.next() & 1) != 0;
+    cur = Pair{cur.packed.child(var, bit), cur.legacy.child(var, bit)};
+    EXPECT_EQ(cur.packed.hash(), cur.legacy.hash()) << "depth " << d + 1;
+    EXPECT_EQ(cur.packed.sibling().hash(), cur.legacy.sibling().hash());
+  }
+}
+
+TEST(PathCodeDiff, MutatingEditorMatchesDerivedCodes) {
+  // push_step/pop_step (the scratch-path enumeration API) against the
+  // oracle's child()/parent() — same codes, same hashes, same bytes.
+  support::Rng rng(606);
+  PathCode scratch;
+  LegacyPathCode oracle;
+  for (int s = 0; s < 500; ++s) {
+    if ((rng.next() % 3) != 0 || oracle.is_root()) {
+      const auto var = static_cast<std::uint32_t>(rng.next() % 4096);
+      const bool bit = (rng.next() & 1) != 0;
+      scratch.push_step(var, bit);
+      oracle = oracle.child(var, bit);
+    } else {
+      scratch.pop_step();
+      oracle = oracle.parent();
+    }
+    expect_same(Pair{scratch, oracle}, "editor");
+  }
+}
+
+TEST(PathCodeDiff, VectorCtorAndViewRoundTrip) {
+  support::Rng rng(707);
+  for (int n : {0, 1, 9, 10, 11, 40, 300}) {
+    std::vector<Branch> steps;
+    for (int i = 0; i < n; ++i) {
+      steps.push_back(Branch{static_cast<std::uint32_t>(rng.next() % 100000),
+                             static_cast<std::uint8_t>(rng.next() & 1)});
+    }
+    const Pair p{PathCode(steps), LegacyPathCode(steps)};
+    expect_same(p, "vector ctor");
+    const PathCode via_view{p.packed.view()};
+    EXPECT_EQ(via_view, p.packed);
+    EXPECT_EQ(via_view.hash(), p.legacy.hash());
+  }
+}
+
+}  // namespace
+}  // namespace ftbb::core

@@ -118,11 +118,12 @@ TEST(Scenario, WorkloadsAllRunUnderLoss) {
   for (const WorkloadKind kind :
        {WorkloadKind::kKnapsack, WorkloadKind::kVertexCover,
         WorkloadKind::kNumberPartition, WorkloadKind::kSyntheticTree,
-        WorkloadKind::kShifty, WorkloadKind::kMaxSat}) {
+        WorkloadKind::kShifty, WorkloadKind::kMaxSat, WorkloadKind::kTsp}) {
     ScenarioSpec spec = base_spec("workload-sweep", Backend::kFtbb, 41);
     spec.workload.kind = kind;
     spec.workload.size = kind == WorkloadKind::kSyntheticTree ? 401
                          : kind == WorkloadKind::kKnapsack    ? 12
+                         : kind == WorkloadKind::kTsp         ? 8
                                                               : 10;
     spec.faults.loss(0.0, 1e9, 0.05).crash(3, 0.05);
     const ScenarioReport report = ScenarioRunner::run(spec);
@@ -163,6 +164,30 @@ TEST(Scenario, MaxSatCompletesAndMatchesGolden) {
   const ScenarioReport report = ScenarioRunner::run(spec);
   expect_solved(report);
   constexpr std::uint64_t kGolden = 0x43193f2e5d810f3cULL;
+  EXPECT_EQ(report.fingerprint(), kGolden)
+      << "actual 0x" << std::hex << report.fingerprint() << "\n"
+      << report.to_string();
+  for (const std::uint32_t threads : {2u, 4u}) {
+    ScenarioSpec sharded = spec;
+    sharded.sim_threads = threads;
+    EXPECT_EQ(ScenarioRunner::run(sharded).fingerprint(), kGolden)
+        << "with " << threads << " threads";
+  }
+}
+
+TEST(Scenario, TspCompletesAndMatchesGolden) {
+  // The deep-code workload (n = 9 -> 36-step codes, past PathCode's inline
+  // buffer) under loss + a bounce: heap-mode codes flow through the pool,
+  // the code tables, and the wire, and the run stays bit-reproducible.
+  // Same pinning discipline as the other goldens; 2- and 4-thread replays
+  // hold the sharded executor to the sequential order.
+  ScenarioSpec spec = base_spec("tsp-adversary", Backend::kFtbb, 79);
+  spec.workload.kind = WorkloadKind::kTsp;
+  spec.workload.size = 9;
+  spec.faults.loss(0.0, 1e9, 0.05).bounce(2, 0.05, 0.2);
+  const ScenarioReport report = ScenarioRunner::run(spec);
+  expect_solved(report);
+  constexpr std::uint64_t kGolden = 0xd5eb398bb6af5d6cULL;
   EXPECT_EQ(report.fingerprint(), kGolden)
       << "actual 0x" << std::hex << report.fingerprint() << "\n"
       << report.to_string();

@@ -1,0 +1,81 @@
+// Tests of the symmetric-TSP model (bnb/tsp.hpp): the branch-and-bound
+// search must land exactly on the optimum the constructor pinned by brute
+// enumeration, leaf codes must replay to valid tours, and — the reason this
+// workload exists — its codes must genuinely cross PathCode's inline buffer
+// into heap mode, exercising the deep-code regime end to end.
+#include <gtest/gtest.h>
+
+#include "bnb/sequential.hpp"
+#include "bnb/tsp.hpp"
+#include "core/path_code.hpp"
+
+namespace ftbb::bnb {
+namespace {
+
+TEST(Tsp, SequentialSearchMatchesEnumeratedOptimum) {
+  for (const std::uint32_t n : {5u, 6u, 7u, 8u}) {
+    for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      TspOptions opts;
+      opts.cities = n;
+      const TspProblem model(seed, opts);
+      ASSERT_TRUE(model.known_optimal().has_value());
+      const SeqResult res = solve_sequential(model);
+      EXPECT_TRUE(res.completed);
+      EXPECT_DOUBLE_EQ(res.best_value, *model.known_optimal())
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Tsp, AllSelectRulesFindTheOptimum) {
+  TspOptions opts;
+  opts.cities = 7;
+  const TspProblem model(5, opts);
+  for (const SelectRule rule : {SelectRule::kBestFirst, SelectRule::kDepthFirst,
+                                SelectRule::kBreadthFirst}) {
+    SeqOptions opt;
+    opt.rule = rule;
+    const SeqResult res = solve_sequential(model, opt);
+    EXPECT_TRUE(res.completed) << to_string(rule);
+    EXPECT_DOUBLE_EQ(res.best_value, *model.known_optimal()) << to_string(rule);
+  }
+}
+
+TEST(Tsp, BestCodeIsAFeasibleLeafTour) {
+  TspOptions opts;
+  opts.cities = 8;
+  const TspProblem model(11, opts);
+  const SeqResult res = solve_sequential(model);
+  const NodeEval leaf = model.eval(res.best_code);
+  EXPECT_TRUE(leaf.feasible_leaf);
+  EXPECT_DOUBLE_EQ(leaf.value, res.best_value);
+  // The leaf fires as soon as `cities` edges are in, so the code never needs
+  // to decide the full edge list.
+  EXPECT_LE(res.best_code.depth(), model.edge_count());
+  EXPECT_GE(res.best_code.depth(), std::size_t{model.cities()});
+}
+
+TEST(Tsp, DeepCodesCrossTheInlineBuffer) {
+  // n = 10 decides up to 45 edges — past the 32 inline words — so this is
+  // the workload whose live codes routinely run in PathCode's heap mode.
+  TspOptions opts;
+  opts.cities = 10;
+  const TspProblem model(7, opts);
+  EXPECT_EQ(model.edge_count(), 45u);
+  EXPECT_GT(model.edge_count(), std::size_t{core::PathCode::kInlineWords});
+  const SeqResult res = solve_sequential(model);
+  EXPECT_TRUE(res.completed);
+  EXPECT_DOUBLE_EQ(res.best_value, *model.known_optimal());
+}
+
+TEST(Tsp, PureFunctionOfSeed) {
+  const TspProblem a(9);
+  const TspProblem b(9);
+  EXPECT_DOUBLE_EQ(*a.known_optimal(), *b.known_optimal());
+  EXPECT_EQ(a.name(), b.name());
+  const TspProblem c(10);
+  EXPECT_NE(*a.known_optimal(), *c.known_optimal());
+}
+
+}  // namespace
+}  // namespace ftbb::bnb
